@@ -1,0 +1,373 @@
+// Package effnetscale's root benchmark harness regenerates every table and
+// figure of the paper's evaluation section as Go benchmarks, plus kernel and
+// ablation benches for the design choices DESIGN.md calls out.
+//
+// Artifact map:
+//
+//	BenchmarkTable1/*   — Table 1 rows (throughput, all-reduce %) via podsim
+//	BenchmarkTable2/*   — Table 2 rows (peak top-1) via the convergence model
+//	BenchmarkFigure1/*  — Figure 1 points (minutes to peak accuracy)
+//	BenchmarkEvalLoop/* — §3.3 ablation: distributed vs Estimator eval
+//	BenchmarkDistBN/*   — §3.4 ablation: BN group size, real engine steps
+//	BenchmarkBF16/*     — §3.5 ablation: bf16 vs fp32 convolutions
+//	BenchmarkKernel/*   — tensor/collective microbenchmarks
+//	BenchmarkMiniStep/* — real distributed training step at mini scale
+//
+// Custom metrics carry the paper's units (img/ms, pct, top1, minutes) so
+// `go test -bench . -benchmem` prints the same quantities the tables report.
+package effnetscale
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"effnetscale/internal/bf16"
+	"effnetscale/internal/comm"
+	"effnetscale/internal/data"
+	"effnetscale/internal/podsim"
+	"effnetscale/internal/replica"
+	"effnetscale/internal/schedule"
+	"effnetscale/internal/tensor"
+	"effnetscale/internal/trainloop"
+)
+
+// --- Table 1 -----------------------------------------------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	for _, c := range podsim.Table1Configs() {
+		c := c
+		b.Run(fmt.Sprintf("%s_%dcores_batch%d", c.Model, c.Cores, c.Batch), func(b *testing.B) {
+			var row podsim.StepBreakdown
+			for i := 0; i < b.N; i++ {
+				var err error
+				row, err = podsim.ModelStep(c.Model, c.Cores, c.Batch, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.ThroughputImgPerMs(), "img/ms")
+			b.ReportMetric(row.AllReducePct(), "allreduce-pct")
+			b.ReportMetric(row.StepSeconds()*1000, "step-ms")
+		})
+	}
+}
+
+// --- Table 2 -----------------------------------------------------------------
+
+func BenchmarkTable2(b *testing.B) {
+	for i, row := range podsim.Table2Configs() {
+		row := row
+		paper := podsim.PaperTable2[i]
+		b.Run(fmt.Sprintf("%s_%s_batch%d", row.Model, row.Optimizer, row.GlobalBatch), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				acc, err = podsim.PeakAccuracy(podsim.TrainConfig{
+					Model: row.Model, Optimizer: row.Optimizer, GlobalBatch: row.GlobalBatch,
+					LRPer256: row.LRPer256, Decay: row.Decay, WarmupEpochs: row.WarmupEpochs, Epochs: 350,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(acc, "top1")
+			b.ReportMetric(paper, "paper-top1")
+		})
+	}
+}
+
+// --- Figure 1 ----------------------------------------------------------------
+
+func BenchmarkFigure1(b *testing.B) {
+	for _, c := range podsim.Figure1Configs() {
+		c := c
+		b.Run(fmt.Sprintf("%s_%dcores_batch%d", c.Cfg.Model, c.Cores, c.Cfg.GlobalBatch), func(b *testing.B) {
+			var pt podsim.Fig1Point
+			for i := 0; i < b.N; i++ {
+				var err error
+				pt, err = podsim.TimeToPeak(c.Cfg, c.Cores, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(pt.MinutesToPeak, "min-to-peak")
+			b.ReportMetric(pt.PeakAcc, "top1")
+		})
+	}
+}
+
+// --- §3.3 ablation: evaluation loop -------------------------------------------
+
+func newBenchEngine(b *testing.B, world, perBatch, bnGroup int) *replica.Engine {
+	b.Helper()
+	ds := data.New(data.MiniConfig(4, 512, 16))
+	eng, err := replica.New(replica.Config{
+		World:               world,
+		PerReplicaBatch:     perBatch,
+		Model:               "pico",
+		Dataset:             ds,
+		OptimizerName:       "sgd",
+		Schedule:            schedule.Constant(0.05),
+		BNGroupSize:         bnGroup,
+		Precision:           bf16.FP32Policy,
+		Seed:                1,
+		DropoutOverride:     0,
+		DropConnectOverride: 0,
+		NoAugment:           true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+func BenchmarkEvalLoop(b *testing.B) {
+	for _, mode := range []trainloop.LoopMode{trainloop.Distributed, trainloop.Estimator} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			eng := newBenchEngine(b, 4, 4, 1)
+			b.ResetTimer()
+			var serial int
+			for i := 0; i < b.N; i++ {
+				res := trainloop.Run(trainloop.Config{
+					Engine:                eng,
+					Epochs:                1,
+					EvalEverySteps:        1 << 30, // evaluate once, at the end
+					EvalSamplesPerReplica: 32,
+					Mode:                  mode,
+				})
+				serial = res.EvalSerialSamples
+			}
+			b.ReportMetric(float64(serial), "serial-eval-samples")
+		})
+	}
+}
+
+// --- §3.4 ablation: distributed batch norm -------------------------------------
+
+func BenchmarkDistBN(b *testing.B) {
+	for _, group := range []int{1, 2, 4, 8} {
+		group := group
+		b.Run(fmt.Sprintf("group%d", group), func(b *testing.B) {
+			eng := newBenchEngine(b, 8, 2, group)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step()
+			}
+		})
+	}
+	// Modelled pod-scale BN cost, 1-D vs 2-D grouping.
+	b.Run("podscale_model", func(b *testing.B) {
+		var withBN, withoutBN podsim.StepBreakdown
+		for i := 0; i < b.N; i++ {
+			var err error
+			withBN, err = podsim.ModelStep("b2", 1024, 32768, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			withoutBN, err = podsim.ModelStep("b2", 1024, 32768, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(withBN.BNSeconds*1e6, "bn-us-per-step")
+		b.ReportMetric(100*(withBN.StepSeconds()-withoutBN.StepSeconds())/withoutBN.StepSeconds(), "bn-overhead-pct")
+	})
+}
+
+// --- §3.5 ablation: mixed precision --------------------------------------------
+
+func BenchmarkBF16(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 1, 4, 8, 16, 16)
+	w := tensor.Randn(rng, 0.2, 16, 8, 3, 3)
+	spec := tensor.ConvSpec{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	b.Run("conv_fp32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tensor.Conv2D(x, w, spec)
+		}
+	})
+	b.Run("conv_bf16_rounded", func(b *testing.B) {
+		xr := tensor.New(x.Shape()...)
+		wr := tensor.New(w.Shape()...)
+		for i := 0; i < b.N; i++ {
+			bf16.RoundSlice(xr.Data(), x.Data())
+			bf16.RoundSlice(wr.Data(), w.Data())
+			tensor.Conv2D(xr, wr, spec)
+		}
+	})
+	b.Run("round_slice_1M", func(b *testing.B) {
+		src := make([]float32, 1<<20)
+		dst := make([]float32, 1<<20)
+		for i := range src {
+			src[i] = rng.Float32()
+		}
+		b.SetBytes(4 << 20)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bf16.RoundSlice(dst, src)
+		}
+	})
+}
+
+// --- Kernels -------------------------------------------------------------------
+
+func BenchmarkKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	b.Run("matmul_128", func(b *testing.B) {
+		x := tensor.Randn(rng, 1, 128, 128)
+		y := tensor.Randn(rng, 1, 128, 128)
+		b.SetBytes(3 * 128 * 128 * 4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.MatMul(x, y)
+		}
+	})
+	b.Run("conv2d_32x32", func(b *testing.B) {
+		x := tensor.Randn(rng, 1, 8, 16, 32, 32)
+		w := tensor.Randn(rng, 0.2, 32, 16, 3, 3)
+		spec := tensor.ConvSpec{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.Conv2D(x, w, spec)
+		}
+	})
+	b.Run("depthwise_32x32", func(b *testing.B) {
+		x := tensor.Randn(rng, 1, 8, 32, 32, 32)
+		w := tensor.Randn(rng, 0.2, 32, 1, 3, 3)
+		spec := tensor.ConvSpec{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tensor.DepthwiseConv2D(x, w, spec)
+		}
+	})
+	for _, n := range []int{2, 4, 8} {
+		n := n
+		b.Run(fmt.Sprintf("ring_allreduce_%dranks_1M", n), func(b *testing.B) {
+			bufs := make([][]float32, n)
+			for r := range bufs {
+				bufs[r] = make([]float32, 1<<20/4)
+			}
+			b.SetBytes(1 << 20)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := comm.NewWorld(n)
+				done := make(chan struct{})
+				for r := 0; r < n; r++ {
+					go func(r int) {
+						w.Peer(r).RingAllReduce(bufs[r])
+						done <- struct{}{}
+					}(r)
+				}
+				for r := 0; r < n; r++ {
+					<-done
+				}
+			}
+		})
+	}
+}
+
+// --- §3.2 ablation: LR schedule choice for LARS ---------------------------------
+
+// BenchmarkScheduleAblation measures, with real mini-scale training, the
+// §3.2 finding that polynomial decay beats exponential decay for LARS. The
+// reported val-top1 metric carries the outcome.
+func BenchmarkScheduleAblation(b *testing.B) {
+	for _, decay := range []string{"polynomial", "exponential"} {
+		decay := decay
+		b.Run("lars_"+decay, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				ds := data.New(data.MiniConfig(8, 2048, 16))
+				var sched schedule.Schedule
+				const epochs = 4
+				if decay == "polynomial" {
+					sched = schedule.Warmup{Epochs: 1, Inner: schedule.Polynomial{Peak: 10, End: 0, TotalEpochs: epochs, Power: 2}}
+				} else {
+					sched = schedule.Warmup{Epochs: 1, Inner: schedule.Exponential{Peak: 10, Rate: 0.97, DecayEpochs: 2.4, Staircase: true}}
+				}
+				eng, err := replica.New(replica.Config{
+					World: 4, PerReplicaBatch: 16, Model: "pico", Dataset: ds,
+					OptimizerName: "lars", WeightDecay: 1e-5, Schedule: sched,
+					BNGroupSize: 4, Precision: bf16.DefaultPolicy, LabelSmoothing: 0.1,
+					Seed: 7, DropoutOverride: 0, DropConnectOverride: 0, BNMomentum: 0.9,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for s := 0; s < epochs*eng.StepsPerEpoch(); s++ {
+					eng.Step()
+				}
+				acc = eng.Evaluate(32)
+			}
+			b.ReportMetric(acc, "val-top1")
+		})
+	}
+}
+
+// --- §5 future work: hybrid data+model parallelism --------------------------------
+
+func BenchmarkHybridParallel(b *testing.B) {
+	for _, m := range []int{1, 2, 4, 8} {
+		m := m
+		b.Run(fmt.Sprintf("modelshards%d", m), func(b *testing.B) {
+			var row podsim.HybridStep
+			batch := podsim.MinGlobalBatch(2048, m)
+			for i := 0; i < b.N; i++ {
+				var err error
+				row, err = podsim.HybridModelStep("b5", 2048, batch, m)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batch), "min-batch")
+			b.ReportMetric(row.ThroughputImgPerMs(), "img/ms")
+			b.ReportMetric(100*row.ActExchangeSeconds/row.StepSeconds(), "act-exchange-pct")
+		})
+	}
+}
+
+// --- Design-choice ablation: all-reduce/backward overlap --------------------------
+
+func BenchmarkOverlapAblation(b *testing.B) {
+	for _, model := range []string{"b2", "b5"} {
+		model := model
+		b.Run(model+"_1024cores", func(b *testing.B) {
+			var o podsim.OverlapResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				o, err = podsim.ModelStepOverlapped(model, 1024, 32768, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(o.AllReducePct(), "serialized-allreduce-pct")
+			b.ReportMetric(o.SpeedupPct(), "overlap-speedup-pct")
+		})
+	}
+}
+
+// --- Real distributed step ------------------------------------------------------
+
+func BenchmarkMiniStep(b *testing.B) {
+	cases := []struct {
+		world, perBatch, bnGroup int
+	}{
+		{1, 8, 1},
+		{4, 2, 1},
+		{4, 2, 4},
+		{8, 1, 8},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(fmt.Sprintf("world%d_batch%d_bn%d", c.world, c.perBatch, c.bnGroup), func(b *testing.B) {
+			eng := newBenchEngine(b, c.world, c.perBatch, c.bnGroup)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step()
+			}
+			b.ReportMetric(float64(eng.GlobalBatch())*float64(b.N)/b.Elapsed().Seconds(), "img/s")
+		})
+	}
+}

@@ -1,0 +1,130 @@
+// Command minisweep runs mini-scale real-training grids over optimizers,
+// global batch sizes and BN group sizes, emitting a CSV of final train and
+// validation accuracies. It is the tool behind the mini-scale validation
+// tables in EXPERIMENTS.md.
+//
+//	minisweep -optimizers lars,rmsprop -batches 64,256,1024 -epochs 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"effnetscale/internal/bf16"
+	"effnetscale/internal/data"
+	"effnetscale/internal/replica"
+	"effnetscale/internal/schedule"
+)
+
+func main() {
+	var (
+		model      = flag.String("model", "pico", "model variant")
+		world      = flag.Int("replicas", 4, "replica count")
+		optimizers = flag.String("optimizers", "rmsprop,lars", "comma-separated optimizer list")
+		batches    = flag.String("batches", "64,256,1024", "comma-separated global batch sizes")
+		bnGroups   = flag.String("bn-groups", "", "comma-separated BN group sizes (default: world)")
+		epochs     = flag.Int("epochs", 5, "epochs per run")
+		classes    = flag.Int("classes", 8, "SynthImageNet classes")
+		trainSize  = flag.Int("train-size", 4096, "training images")
+		resolution = flag.Int("resolution", 16, "image resolution")
+		seed       = flag.Int64("seed", 7, "seed")
+		larsLR     = flag.Float64("lars-lr", 10, "LARS peak global LR (roughly batch-independent, like the paper)")
+		rmsLR      = flag.Float64("rmsprop-lr-per-256", 0.1, "RMSProp LR per 256 samples (linear scaling rule)")
+	)
+	flag.Parse()
+
+	ds := data.New(data.Config{
+		NumClasses: *classes,
+		TrainSize:  *trainSize,
+		ValSize:    *trainSize / 4,
+		Resolution: *resolution,
+		NoiseStd:   0.25,
+		Seed:       *seed,
+	})
+
+	groupList := []int{*world}
+	if *bnGroups != "" {
+		groupList = parseInts(*bnGroups)
+	}
+
+	fmt.Println("optimizer,global_batch,bn_group,steps,train_acc,val_acc")
+	for _, opt := range strings.Split(*optimizers, ",") {
+		for _, batch := range parseInts(*batches) {
+			for _, group := range groupList {
+				trainAcc, valAcc, steps, err := runOne(ds, *model, opt, *world, batch, group, *epochs, *seed, *larsLR, *rmsLR)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "minisweep: %s batch %d: %v\n", opt, batch, err)
+					os.Exit(1)
+				}
+				fmt.Printf("%s,%d,%d,%d,%.4f,%.4f\n", opt, batch, group, steps, trainAcc, valAcc)
+			}
+		}
+	}
+}
+
+func parseInts(csv string) []int {
+	var out []int
+	for _, s := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "minisweep: bad integer %q\n", s)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func runOne(ds *data.Dataset, model, opt string, world, globalBatch, bnGroup, epochs int, seed int64, larsLR, rmsLR float64) (trainAcc, valAcc float64, steps int, err error) {
+	perBatch := globalBatch / world
+	if perBatch < 1 {
+		return 0, 0, 0, fmt.Errorf("global batch %d too small for %d replicas", globalBatch, world)
+	}
+	var sched schedule.Schedule
+	switch opt {
+	case "rmsprop":
+		peak := schedule.ScaledLR(rmsLR, globalBatch)
+		sched = schedule.Warmup{Epochs: 0.5, Inner: schedule.Exponential{Peak: peak, Rate: 0.97, DecayEpochs: 2.4, Staircase: true}}
+	case "lars":
+		sched = schedule.Warmup{Epochs: 1, Inner: schedule.Polynomial{Peak: larsLR, End: 0, TotalEpochs: float64(epochs), Power: 2}}
+	case "lamb":
+		// LAMB's trust ratio normalizes each update to ‖w‖ scale, so its
+		// LR is a per-step fraction of the weight norm — order 0.05.
+		sched = schedule.Warmup{Epochs: 1, Inner: schedule.Polynomial{Peak: 0.05, End: 0, TotalEpochs: float64(epochs), Power: 2}}
+	default:
+		sched = schedule.Warmup{Epochs: 0.5, Inner: schedule.Constant(0.1)}
+	}
+	eng, err := replica.New(replica.Config{
+		World:               world,
+		PerReplicaBatch:     perBatch,
+		Model:               model,
+		Dataset:             ds,
+		OptimizerName:       opt,
+		WeightDecay:         1e-5,
+		Schedule:            sched,
+		BNGroupSize:         bnGroup,
+		Precision:           bf16.DefaultPolicy,
+		LabelSmoothing:      0.1,
+		Seed:                seed,
+		DropoutOverride:     0,
+		DropConnectOverride: 0,
+		BNMomentum:          0.9,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	total := epochs * eng.StepsPerEpoch()
+	var accSum float64
+	var accN int
+	for s := 0; s < total; s++ {
+		r := eng.Step()
+		if s >= total-4 {
+			accSum += r.Accuracy
+			accN++
+		}
+	}
+	return accSum / float64(accN), eng.Evaluate(64), total, nil
+}

@@ -1,0 +1,119 @@
+// Command podbench regenerates the paper's evaluation artifacts from the
+// pod-scale simulator:
+//
+//	podbench -artifact table1    # Table 1: throughput and all-reduce share
+//	podbench -artifact table2    # Table 2: peak accuracies
+//	podbench -artifact figure1   # Figure 1: time to peak accuracy
+//	podbench -artifact all       # everything, with paper comparisons
+//	podbench -csv                # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"effnetscale/internal/metrics"
+	"effnetscale/internal/podsim"
+)
+
+func main() {
+	artifact := flag.String("artifact", "all", "which artifact to regenerate: table1, table2, figure1, all")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	switch *artifact {
+	case "table1":
+		fail(printTable1(*csv))
+	case "table2":
+		fail(printTable2(*csv))
+	case "figure1":
+		fail(printFigure1(*csv))
+	case "all":
+		fail(printTable1(*csv))
+		fmt.Println()
+		fail(printTable2(*csv))
+		fmt.Println()
+		fail(printFigure1(*csv))
+	default:
+		fmt.Fprintf(os.Stderr, "podbench: unknown artifact %q (want table1, table2, figure1, all)\n", *artifact)
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "podbench:", err)
+		os.Exit(1)
+	}
+}
+
+func emit(t *metrics.Table, csv bool) {
+	if csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t.String())
+	}
+}
+
+func printTable1(csv bool) error {
+	rows, err := podsim.Table1()
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable(
+		"Table 1: Communication costs and throughput (modelled vs paper)",
+		"Model", "#TPU-v3 cores", "Global batch", "Throughput (img/ms)", "Paper", "All-Reduce %", "Paper %")
+	for i, r := range rows {
+		p := podsim.PaperTable1[i]
+		t.AddRow("EfficientNet-"+upper(r.Model), r.Cores, r.GlobalBatch,
+			round2(r.ThroughputImgPerMs), p.ThroughputImgPerMs,
+			round2(r.AllReducePct), p.AllReducePct)
+	}
+	emit(t, csv)
+	return nil
+}
+
+func printTable2(csv bool) error {
+	rows, err := podsim.Table2()
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable(
+		"Table 2: Peak top-1 accuracies (modelled vs paper)",
+		"Model", "Cores", "Batch", "Optimizer", "LR/256", "Decay", "Warmup (ep)", "Peak acc", "Paper")
+	for i, r := range rows {
+		t.AddRow("EfficientNet-"+upper(r.Model), r.Cores, r.GlobalBatch, r.Optimizer,
+			r.LRPer256, r.Decay, r.WarmupEpochs, round4(r.PeakAcc), podsim.PaperTable2[i])
+	}
+	emit(t, csv)
+	return nil
+}
+
+func printFigure1(csv bool) error {
+	pts, err := podsim.Figure1()
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable(
+		"Figure 1: Training time to peak accuracy vs TPU slice size",
+		"Model", "Cores", "Global batch", "Optimizer", "Minutes to peak", "Peak acc")
+	for _, p := range pts {
+		t.AddRow("EfficientNet-"+upper(p.Model), p.Cores, p.GlobalBatch, p.Optimizer,
+			round2(p.MinutesToPeak), round4(p.PeakAcc))
+	}
+	emit(t, csv)
+	fmt.Printf("\nHeadlines: paper B2@1024 = %.0f min to 79.7%%; paper B5@65536 = %.0f min to 83.0%%\n",
+		podsim.PaperHeadlines.B2MinutesTo797, podsim.PaperHeadlines.B5MinutesTo830)
+	return nil
+}
+
+func upper(m string) string {
+	if len(m) == 2 {
+		return string(m[0]-'a'+'A') + m[1:]
+	}
+	return m
+}
+
+func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }
+func round4(v float64) float64 { return float64(int(v*10000+0.5)) / 10000 }

@@ -1,0 +1,62 @@
+// Podscale simulates the paper's headline run — EfficientNet-B5 on 1024
+// TPU-v3 cores at global batch 65536 — end to end: step-time breakdown,
+// modelled accuracy trajectory, and the time-to-83% figure, alongside the
+// scaling sweep of Figure 1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"effnetscale/internal/metrics"
+	"effnetscale/internal/podsim"
+)
+
+func main() {
+	cfg := podsim.TrainConfig{
+		Model: "b5", Optimizer: "lars", GlobalBatch: 65536,
+		LRPer256: 0.081, Decay: "polynomial", WarmupEpochs: 43, Epochs: 350,
+	}
+	const cores = 1024
+
+	sb, err := podsim.ModelStep(cfg.Model, cores, cfg.GlobalBatch, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Headline run: EfficientNet-B5, 1024 TPU-v3 cores, global batch 65536, LARS")
+	fmt.Printf("  per-core batch:       %d\n", sb.PerCoreBatch)
+	fmt.Printf("  compute / step:       %.1f ms\n", sb.ComputeSeconds*1000)
+	fmt.Printf("  gradient all-reduce:  %.2f ms (%.2f%% of step)\n", sb.AllReduceSeconds*1000, sb.AllReducePct())
+	fmt.Printf("  distributed BN cost:  %.3f ms (group size %d)\n", sb.BNSeconds*1000, sb.BNGroupSize)
+
+	pt, err := podsim.TimeToPeak(cfg, cores, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  modelled time to peak: %.1f minutes → top-1 %.3f\n", pt.MinutesToPeak, pt.PeakAcc)
+	fmt.Printf("  paper:                 64 minutes → top-1 0.830\n\n")
+
+	traj := metrics.NewTable("Modelled accuracy trajectory (B5 @ 65536)", "Epoch", "Top-1")
+	for _, e := range []float64{10, 43, 100, 200, 300, 348} {
+		acc, err := podsim.AccuracyAtEpoch(cfg, e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traj.AddRow(e, round4(acc))
+	}
+	fmt.Print(traj.String())
+	fmt.Println()
+
+	pts, err := podsim.Figure1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fig := metrics.NewTable("Figure 1 sweep: time to peak vs slice size", "Model", "Cores", "Batch", "Optimizer", "Minutes", "Top-1")
+	for _, p := range pts {
+		fig.AddRow(p.Model, p.Cores, p.GlobalBatch, p.Optimizer, round1(p.MinutesToPeak), round4(p.PeakAcc))
+	}
+	fmt.Print(fig.String())
+}
+
+func round1(v float64) float64 { return float64(int(v*10+0.5)) / 10 }
+func round4(v float64) float64 { return float64(int(v*10000+0.5)) / 10000 }

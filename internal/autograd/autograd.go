@@ -1,0 +1,294 @@
+// Package autograd implements tape-based reverse-mode automatic
+// differentiation over the tensor engine. A forward pass builds a DAG of
+// Values; Backward on a scalar loss walks the DAG in reverse topological
+// order, accumulating gradients into every Value that requires them.
+//
+// Layers register custom operators via NewOp, which keeps the op set open:
+// batch normalization (with its cross-replica statistics reduction, §3.4 of
+// the paper) lives in package nn but plugs into this tape.
+package autograd
+
+import (
+	"fmt"
+
+	"effnetscale/internal/tensor"
+)
+
+// Value is a node in the autodiff graph: a forward tensor plus the plumbing
+// needed to propagate gradients to its parents.
+type Value struct {
+	// T holds the forward result. It must not be mutated after creation.
+	T *tensor.Tensor
+	// Grad accumulates dLoss/dT during Backward. It is nil until the first
+	// contribution arrives and for Values that do not require gradients.
+	Grad *tensor.Tensor
+
+	requiresGrad bool
+	parents      []*Value
+	// back propagates this node's accumulated gradient into the parents.
+	// nil for leaves.
+	back func(grad *tensor.Tensor)
+	op   string
+}
+
+// Leaf wraps t as a graph input. If requiresGrad is true, Backward will
+// accumulate into its Grad (model parameters); otherwise the node blocks
+// gradient flow (inputs, labels).
+func Leaf(t *tensor.Tensor, requiresGrad bool) *Value {
+	return &Value{T: t, requiresGrad: requiresGrad, op: "leaf"}
+}
+
+// Constant wraps t as a non-differentiable input.
+func Constant(t *tensor.Tensor) *Value { return Leaf(t, false) }
+
+// RequiresGrad reports whether gradients flow into this Value.
+func (v *Value) RequiresGrad() bool { return v.requiresGrad }
+
+// Op returns the name of the operator that produced this Value.
+func (v *Value) Op() string { return v.op }
+
+// ZeroGrad drops the accumulated gradient so the Value can be reused across
+// steps (parameters are reused; activations are rebuilt each step).
+func (v *Value) ZeroGrad() { v.Grad = nil }
+
+// NewOp creates a Value produced by a custom operator. out is the forward
+// result, parents are the graph inputs, and back receives dLoss/dout and must
+// push contributions into each parent via Accumulate. back may be nil for
+// non-differentiable ops. The node requires grad iff any parent does.
+func NewOp(op string, out *tensor.Tensor, parents []*Value, back func(grad *tensor.Tensor)) *Value {
+	req := false
+	for _, p := range parents {
+		if p.requiresGrad {
+			req = true
+			break
+		}
+	}
+	v := &Value{T: out, requiresGrad: req, parents: parents, op: op}
+	if req {
+		v.back = back
+	}
+	return v
+}
+
+// Accumulate adds g into v's gradient if v requires one. Ops call this from
+// their backward closures.
+func (v *Value) Accumulate(g *tensor.Tensor) {
+	if !v.requiresGrad {
+		return
+	}
+	if v.Grad == nil {
+		v.Grad = g.Clone()
+		return
+	}
+	tensor.AddInto(v.Grad, g)
+}
+
+// Backward computes gradients of v (which must be a scalar: one element)
+// with respect to every reachable Value that requires gradients.
+func (v *Value) Backward() {
+	if v.T.Len() != 1 {
+		panic(fmt.Sprintf("autograd: Backward requires a scalar loss, got shape %v", v.T.Shape()))
+	}
+	if !v.requiresGrad {
+		return // nothing depends on parameters
+	}
+	order := topoSort(v)
+	seed := tensor.Ones(v.T.Shape()...)
+	v.Grad = seed
+	// Reverse topological order: every node's gradient is complete before
+	// its back function runs.
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.back != nil && n.Grad != nil {
+			n.back(n.Grad)
+		}
+	}
+}
+
+// topoSort returns nodes reachable from root in topological order
+// (parents before children), using an iterative DFS to avoid deep recursion
+// on very deep networks.
+func topoSort(root *Value) []*Value {
+	var order []*Value
+	visited := make(map[*Value]bool)
+	type frame struct {
+		v    *Value
+		next int
+	}
+	stack := []frame{{v: root}}
+	visited[root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.v.parents) {
+			p := f.v.parents[f.next]
+			f.next++
+			if !visited[p] && p.requiresGrad {
+				visited[p] = true
+				stack = append(stack, frame{v: p})
+			}
+			continue
+		}
+		order = append(order, f.v)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// --- Core differentiable operators ----------------------------------------
+
+// Add returns a + b element-wise.
+func Add(a, b *Value) *Value {
+	out := tensor.Add(a.T, b.T)
+	return NewOp("add", out, []*Value{a, b}, func(g *tensor.Tensor) {
+		a.Accumulate(g)
+		b.Accumulate(g)
+	})
+}
+
+// Sub returns a - b element-wise.
+func Sub(a, b *Value) *Value {
+	out := tensor.Sub(a.T, b.T)
+	return NewOp("sub", out, []*Value{a, b}, func(g *tensor.Tensor) {
+		a.Accumulate(g)
+		b.Accumulate(tensor.Scale(g, -1))
+	})
+}
+
+// Mul returns the element-wise product a * b.
+func Mul(a, b *Value) *Value {
+	out := tensor.Mul(a.T, b.T)
+	return NewOp("mul", out, []*Value{a, b}, func(g *tensor.Tensor) {
+		a.Accumulate(tensor.Mul(g, b.T))
+		b.Accumulate(tensor.Mul(g, a.T))
+	})
+}
+
+// Scale returns a * s for scalar s.
+func Scale(a *Value, s float32) *Value {
+	out := tensor.Scale(a.T, s)
+	return NewOp("scale", out, []*Value{a}, func(g *tensor.Tensor) {
+		a.Accumulate(tensor.Scale(g, s))
+	})
+}
+
+// Reshape returns a view of a with a new shape.
+func Reshape(a *Value, shape ...int) *Value {
+	out := a.T.Reshape(shape...)
+	origShape := a.T.Shape()
+	return NewOp("reshape", out, []*Value{a}, func(g *tensor.Tensor) {
+		a.Accumulate(g.Reshape(origShape...))
+	})
+}
+
+// MatMul returns a @ b for rank-2 operands.
+func MatMul(a, b *Value) *Value {
+	out := tensor.MatMul(a.T, b.T)
+	return NewOp("matmul", out, []*Value{a, b}, func(g *tensor.Tensor) {
+		if a.requiresGrad {
+			a.Accumulate(tensor.MatMulTB(g, b.T)) // dA = g @ Bᵀ
+		}
+		if b.requiresGrad {
+			b.Accumulate(tensor.MatMulTA(a.T, g)) // dB = Aᵀ @ g
+		}
+	})
+}
+
+// AddChannel adds a per-channel bias b [C] to activations x [N,C,H,W].
+func AddChannel(x, b *Value) *Value {
+	out := tensor.AddChannel(x.T, b.T)
+	return NewOp("addchannel", out, []*Value{x, b}, func(g *tensor.Tensor) {
+		x.Accumulate(g)
+		if b.requiresGrad {
+			nc := tensor.SumChannelNC(g) // [N,C]
+			n, c := nc.Dim(0), nc.Dim(1)
+			db := tensor.New(c)
+			for i := 0; i < n; i++ {
+				for j := 0; j < c; j++ {
+					db.Data()[j] += nc.At(i, j)
+				}
+			}
+			b.Accumulate(db)
+		}
+	})
+}
+
+// AddRowBias adds bias b [M] to every row of x [N,M] (dense-layer bias).
+func AddRowBias(x, b *Value) *Value {
+	n, m := x.T.Dim(0), x.T.Dim(1)
+	if b.T.Rank() != 1 || b.T.Dim(0) != m {
+		panic(fmt.Sprintf("autograd: AddRowBias bias shape %v does not match [%d,%d]", b.T.Shape(), n, m))
+	}
+	out := tensor.New(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			out.Data()[i*m+j] = x.T.Data()[i*m+j] + b.T.Data()[j]
+		}
+	}
+	return NewOp("addrowbias", out, []*Value{x, b}, func(g *tensor.Tensor) {
+		x.Accumulate(g)
+		if b.requiresGrad {
+			db := tensor.New(m)
+			for i := 0; i < n; i++ {
+				for j := 0; j < m; j++ {
+					db.Data()[j] += g.Data()[i*m+j]
+				}
+			}
+			b.Accumulate(db)
+		}
+	})
+}
+
+// MulChannelNC scales x [N,C,H,W] by s [N,C] broadcast over H,W
+// (squeeze-excitation's re-scaling).
+func MulChannelNC(x, s *Value) *Value {
+	out := tensor.MulChannelNC(x.T, s.T)
+	return NewOp("mulchannelnc", out, []*Value{x, s}, func(g *tensor.Tensor) {
+		if x.requiresGrad {
+			x.Accumulate(tensor.MulChannelNC(g, s.T))
+		}
+		if s.requiresGrad {
+			s.Accumulate(tensor.SumChannelNC(tensor.Mul(g, x.T)))
+		}
+	})
+}
+
+// GlobalAvgPool reduces x [N,C,H,W] to [N,C] by averaging over H and W.
+func GlobalAvgPool(x *Value) *Value {
+	_, _, h, w := x.T.Dim4()
+	inv := 1 / float32(h*w)
+	out := tensor.Scale(tensor.SumChannelNC(x.T), inv)
+	xShape := x.T.Shape()
+	return NewOp("gap", out, []*Value{x}, func(g *tensor.Tensor) {
+		n, c := g.Dim(0), g.Dim(1)
+		dx := tensor.New(xShape...)
+		hw := h * w
+		for nc := 0; nc < n*c; nc++ {
+			gv := g.Data()[nc] * inv
+			base := nc * hw
+			for i := 0; i < hw; i++ {
+				dx.Data()[base+i] = gv
+			}
+		}
+		x.Accumulate(dx)
+	})
+}
+
+// Mean returns the scalar mean of all elements of a, shaped [1].
+func Mean(a *Value) *Value {
+	n := a.T.Len()
+	out := tensor.FromSlice([]float32{float32(a.T.Sum() / float64(n))}, 1)
+	aShape := a.T.Shape()
+	return NewOp("mean", out, []*Value{a}, func(g *tensor.Tensor) {
+		gv := g.Data()[0] / float32(n)
+		a.Accumulate(tensor.Full(gv, aShape...))
+	})
+}
+
+// Sum returns the scalar sum of all elements of a, shaped [1].
+func Sum(a *Value) *Value {
+	out := tensor.FromSlice([]float32{float32(a.T.Sum())}, 1)
+	aShape := a.T.Shape()
+	return NewOp("sum", out, []*Value{a}, func(g *tensor.Tensor) {
+		a.Accumulate(tensor.Full(g.Data()[0], aShape...))
+	})
+}

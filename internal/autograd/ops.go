@@ -1,0 +1,194 @@
+package autograd
+
+import (
+	"math"
+
+	"effnetscale/internal/bf16"
+	"effnetscale/internal/tensor"
+)
+
+// --- Activations -----------------------------------------------------------
+
+func sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// Sigmoid applies the logistic function element-wise.
+func Sigmoid(a *Value) *Value {
+	out := tensor.Apply(a.T, sigmoid)
+	return NewOp("sigmoid", out, []*Value{a}, func(g *tensor.Tensor) {
+		dx := tensor.New(out.Shape()...)
+		od, gd, dd := out.Data(), g.Data(), dx.Data()
+		for i := range dd {
+			s := od[i]
+			dd[i] = gd[i] * s * (1 - s)
+		}
+		a.Accumulate(dx)
+	})
+}
+
+// Swish applies x*sigmoid(x) (SiLU), EfficientNet's activation.
+func Swish(a *Value) *Value {
+	in := a.T.Data()
+	out := tensor.New(a.T.Shape()...)
+	sig := make([]float32, len(in))
+	for i, x := range in {
+		s := sigmoid(x)
+		sig[i] = s
+		out.Data()[i] = x * s
+	}
+	return NewOp("swish", out, []*Value{a}, func(g *tensor.Tensor) {
+		dx := tensor.New(out.Shape()...)
+		gd, dd := g.Data(), dx.Data()
+		for i := range dd {
+			s := sig[i]
+			x := in[i]
+			// d/dx [x·σ(x)] = σ(x) + x·σ(x)(1−σ(x)) = σ(x)(1 + x(1−σ(x)))
+			dd[i] = gd[i] * s * (1 + x*(1-s))
+		}
+		a.Accumulate(dx)
+	})
+}
+
+// ReLU applies max(0, x) element-wise.
+func ReLU(a *Value) *Value {
+	out := tensor.Apply(a.T, func(x float32) float32 {
+		if x < 0 {
+			return 0
+		}
+		return x
+	})
+	in := a.T.Data()
+	return NewOp("relu", out, []*Value{a}, func(g *tensor.Tensor) {
+		dx := tensor.New(out.Shape()...)
+		gd, dd := g.Data(), dx.Data()
+		for i := range dd {
+			if in[i] > 0 {
+				dd[i] = gd[i]
+			}
+		}
+		a.Accumulate(dx)
+	})
+}
+
+// --- Convolutions with mixed-precision policy -------------------------------
+
+// maybeBF16 returns t rounded to bfloat16 precision when enabled, else t.
+// Emulates feeding the MXU bf16 operands (paper §3.5).
+func maybeBF16(t *tensor.Tensor, enabled bool) *tensor.Tensor {
+	if !enabled {
+		return t
+	}
+	r := tensor.New(t.Shape()...)
+	bf16.RoundSlice(r.Data(), t.Data())
+	return r
+}
+
+// Conv2D convolves x with w under spec. When policy.ConvBF16 is set, inputs
+// and weights are rounded to bfloat16 before the kernel runs (forward and
+// backward), emulating the paper's mixed-precision training. Accumulation
+// stays in fp32, as on TPU.
+func Conv2D(x, w *Value, spec tensor.ConvSpec, policy bf16.Policy) *Value {
+	xc := maybeBF16(x.T, policy.ConvBF16)
+	wc := maybeBF16(w.T, policy.ConvBF16)
+	out := tensor.Conv2D(xc, wc, spec)
+	return NewOp("conv2d", out, []*Value{x, w}, func(g *tensor.Tensor) {
+		gc := maybeBF16(g, policy.ConvBF16)
+		dx, dw := tensor.Conv2DBackward(xc, wc, gc, spec)
+		x.Accumulate(dx)
+		w.Accumulate(dw)
+	})
+}
+
+// DepthwiseConv2D applies a depthwise convolution under the same
+// mixed-precision policy as Conv2D.
+func DepthwiseConv2D(x, w *Value, spec tensor.ConvSpec, policy bf16.Policy) *Value {
+	xc := maybeBF16(x.T, policy.ConvBF16)
+	wc := maybeBF16(w.T, policy.ConvBF16)
+	out := tensor.DepthwiseConv2D(xc, wc, spec)
+	return NewOp("dwconv2d", out, []*Value{x, w}, func(g *tensor.Tensor) {
+		gc := maybeBF16(g, policy.ConvBF16)
+		dx, dw := tensor.DepthwiseConv2DBackward(xc, wc, gc, spec)
+		x.Accumulate(dx)
+		w.Accumulate(dw)
+	})
+}
+
+// --- Loss -------------------------------------------------------------------
+
+// SoftmaxCrossEntropy computes the mean cross-entropy between logits [N,K]
+// and integer labels, with optional label smoothing (EfficientNet trains with
+// smoothing 0.1). Returns a scalar Value of shape [1].
+func SoftmaxCrossEntropy(logits *Value, labels []int, smoothing float32) *Value {
+	n, k := logits.T.Dim(0), logits.T.Dim(1)
+	if len(labels) != n {
+		panic("autograd: SoftmaxCrossEntropy label count mismatch")
+	}
+	probs := tensor.New(n, k)
+	var loss float64
+	onVal := 1 - smoothing + smoothing/float32(k)
+	offVal := smoothing / float32(k)
+	for i := 0; i < n; i++ {
+		row := logits.T.Data()[i*k : (i+1)*k]
+		prow := probs.Data()[i*k : (i+1)*k]
+		// Stable log-softmax.
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			prow[j] = float32(e)
+			sum += e
+		}
+		logZ := math.Log(sum) + float64(maxv)
+		for j := range prow {
+			prow[j] = float32(float64(prow[j]) / sum)
+		}
+		// loss_i = -sum_j target_j * log p_j
+		for j := 0; j < k; j++ {
+			target := offVal
+			if j == labels[i] {
+				target = onVal
+			}
+			if target != 0 {
+				logp := float64(row[j]) - logZ
+				loss -= float64(target) * logp
+			}
+		}
+	}
+	out := tensor.FromSlice([]float32{float32(loss / float64(n))}, 1)
+	return NewOp("softmax_ce", out, []*Value{logits}, func(g *tensor.Tensor) {
+		scale := g.Data()[0] / float32(n)
+		dl := tensor.New(n, k)
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				target := offVal
+				if j == labels[i] {
+					target = onVal
+				}
+				dl.Data()[i*k+j] = scale * (probs.At(i, j) - target)
+			}
+		}
+		logits.Accumulate(dl)
+	})
+}
+
+// Argmax returns the index of the max logit per row of a [N,K] tensor.
+func Argmax(t *tensor.Tensor) []int {
+	n, k := t.Dim(0), t.Dim(1)
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		best, bi := t.Data()[i*k], 0
+		for j := 1; j < k; j++ {
+			if v := t.Data()[i*k+j]; v > best {
+				best, bi = v, j
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package autograd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"effnetscale/internal/tensor"
+)
+
+func TestReshapeGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	x := Leaf(tensor.Randn(rng, 1, 2, 6), true)
+	gradCheck(t, "reshape", []*Value{x}, func() *Value {
+		y := Reshape(x, 3, 4)
+		return Mean(Swish(y))
+	}, 2e-3)
+}
+
+func TestSumGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := Leaf(tensor.Randn(rng, 1, 5), true)
+	gradCheck(t, "sum", []*Value{x}, func() *Value {
+		return Sum(Mul(x, x))
+	}, 2e-3)
+}
+
+func TestGlobalAvgPoolValues(t *testing.T) {
+	// [1,2,2,2] with known means per channel.
+	x := Constant(tensor.FromSlice([]float32{
+		1, 2, 3, 4, // channel 0: mean 2.5
+		10, 10, 10, 10, // channel 1: mean 10
+	}, 1, 2, 2, 2))
+	y := GlobalAvgPool(x)
+	if y.T.At(0, 0) != 2.5 || y.T.At(0, 1) != 10 {
+		t.Fatalf("GAP values wrong: %v", y.T.Data())
+	}
+}
+
+func TestSwishKnownValues(t *testing.T) {
+	x := Constant(tensor.FromSlice([]float32{0}, 1))
+	if got := Swish(x).T.Data()[0]; got != 0 {
+		t.Fatalf("swish(0) = %v, want 0", got)
+	}
+	// swish(x) → x for large x.
+	x2 := Constant(tensor.FromSlice([]float32{20}, 1))
+	if got := Swish(x2).T.Data()[0]; math.Abs(float64(got-20)) > 1e-3 {
+		t.Fatalf("swish(20) = %v, want ≈20", got)
+	}
+	// Sigmoid symmetry: σ(-x) = 1 - σ(x).
+	a := Sigmoid(Constant(tensor.FromSlice([]float32{1.7}, 1))).T.Data()[0]
+	b := Sigmoid(Constant(tensor.FromSlice([]float32{-1.7}, 1))).T.Data()[0]
+	if math.Abs(float64(a+b-1)) > 1e-6 {
+		t.Fatalf("sigmoid symmetry violated: %v + %v != 1", a, b)
+	}
+}
+
+func TestSoftmaxCELabelSmoothingRaisesMinimumLoss(t *testing.T) {
+	// With smoothing, even a perfectly confident correct prediction keeps a
+	// positive loss floor — the regularization effect.
+	logits := Leaf(tensor.FromSlice([]float32{30, 0, 0, 0}, 1, 4), false)
+	labels := []int{0}
+	hard := SoftmaxCrossEntropy(logits, labels, 0).T.Data()[0]
+	smooth := SoftmaxCrossEntropy(logits, labels, 0.1).T.Data()[0]
+	if hard > 1e-3 {
+		t.Fatalf("confident correct prediction should have ~0 hard loss, got %v", hard)
+	}
+	if smooth < 0.5 {
+		t.Fatalf("smoothed loss floor too low: %v", smooth)
+	}
+}
+
+func TestSoftmaxCEBatchMeanSemantics(t *testing.T) {
+	// Loss over a batch must be the mean of per-sample losses.
+	l1 := tensor.FromSlice([]float32{2, 0, 0}, 1, 3)
+	l2 := tensor.FromSlice([]float32{0, 0, 2}, 1, 3)
+	both := tensor.FromSlice([]float32{2, 0, 0, 0, 0, 2}, 2, 3)
+	a := SoftmaxCrossEntropy(Constant(l1), []int{0}, 0).T.Data()[0]
+	b := SoftmaxCrossEntropy(Constant(l2), []int{1}, 0).T.Data()[0]
+	ab := SoftmaxCrossEntropy(Constant(both), []int{0, 1}, 0).T.Data()[0]
+	if math.Abs(float64(ab-(a+b)/2)) > 1e-6 {
+		t.Fatalf("batch mean semantics violated: %v vs %v", ab, (a+b)/2)
+	}
+}
+
+func TestMulChannelNCValues(t *testing.T) {
+	x := Constant(tensor.Ones(2, 2, 1, 2))
+	s := Constant(tensor.FromSlice([]float32{1, 2, 3, 4}, 2, 2))
+	y := MulChannelNC(x, s)
+	want := []float32{1, 1, 2, 2, 3, 3, 4, 4}
+	for i, v := range y.T.Data() {
+		if v != want[i] {
+			t.Fatalf("MulChannelNC[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestLabelCountMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on label count mismatch")
+		}
+	}()
+	SoftmaxCrossEntropy(Constant(tensor.New(2, 3)), []int{0}, 0)
+}

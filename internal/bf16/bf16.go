@@ -1,0 +1,91 @@
+// Package bf16 implements the bfloat16 floating-point format in software.
+//
+// The paper's §3.5 trains with mixed precision: convolutions run in bfloat16
+// while everything else stays in fp32. TPUs implement bfloat16 natively; here
+// the format is emulated by rounding fp32 values to the nearest bfloat16
+// (8-bit exponent, 7-bit mantissa — the top 16 bits of an IEEE-754 float32).
+package bf16
+
+import (
+	"math"
+
+	"effnetscale/internal/parallel"
+)
+
+// BF16 is a bfloat16 value stored as the high 16 bits of a float32.
+type BF16 uint16
+
+// RoundMode selects how fp32→bf16 conversion handles the dropped mantissa
+// bits.
+type RoundMode int
+
+const (
+	// RoundNearestEven rounds to the nearest bfloat16, ties to even.
+	// This matches TPU hardware behaviour and is the package default.
+	RoundNearestEven RoundMode = iota
+	// Truncate drops the low 16 bits. Cheaper but biased toward zero;
+	// provided to let tests quantify the difference.
+	Truncate
+)
+
+// FromFloat32 converts with round-to-nearest-even.
+func FromFloat32(f float32) BF16 { return fromBits(math.Float32bits(f)) }
+
+// FromFloat32Mode converts using the given rounding mode.
+func FromFloat32Mode(f float32, mode RoundMode) BF16 {
+	b := math.Float32bits(f)
+	if mode == Truncate {
+		return BF16(b >> 16)
+	}
+	return fromBits(b)
+}
+
+func fromBits(b uint32) BF16 {
+	// NaN must stay NaN: if the truncated mantissa would be all zeros,
+	// force a quiet-NaN bit.
+	if b&0x7F800000 == 0x7F800000 && b&0x007FFFFF != 0 {
+		return BF16((b >> 16) | 0x0040)
+	}
+	// Round to nearest even: add 0x7FFF + lsb-of-result before truncating.
+	lsb := (b >> 16) & 1
+	return BF16((b + 0x7FFF + lsb) >> 16)
+}
+
+// Float32 widens a bfloat16 back to float32 (exact).
+func (x BF16) Float32() float32 { return math.Float32frombits(uint32(x) << 16) }
+
+// Round returns f rounded to bfloat16 precision and widened back to float32.
+// This is the core primitive for emulating a bf16 compute unit.
+func Round(f float32) float32 { return FromFloat32(f).Float32() }
+
+// RoundSlice rounds every element of src to bfloat16 precision, writing into
+// dst (which may alias src). Lengths must match.
+func RoundSlice(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("bf16: RoundSlice length mismatch")
+	}
+	parallel.ForChunked(len(src), 2048, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = Round(src[i])
+		}
+	})
+}
+
+// MaxRelError is the worst-case relative rounding error of bfloat16 for
+// normal values: half a unit in the last place of a 7-bit mantissa (2^-8).
+const MaxRelError = 1.0 / 256.0
+
+// Policy describes which operator classes run in reduced precision, mirroring
+// the paper's mixed-precision recipe.
+type Policy struct {
+	// ConvBF16 applies bfloat16 rounding to convolution inputs and weights
+	// (the paper's configuration: "bfloat16 is used for convolutional
+	// operations, while all other operations utilize fp32").
+	ConvBF16 bool
+}
+
+// DefaultPolicy is the paper's §3.5 configuration.
+var DefaultPolicy = Policy{ConvBF16: true}
+
+// FP32Policy disables all reduced-precision behaviour.
+var FP32Policy = Policy{}

@@ -1,0 +1,128 @@
+// Package checkpoint serializes model weights and batch-norm running
+// statistics with encoding/gob, so trained mini-scale models can be saved,
+// reloaded and served. Checkpoints are keyed by parameter name and validated
+// on load (missing/mismatched shapes are errors, not silent corruption).
+package checkpoint
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"effnetscale/internal/efficientnet"
+)
+
+// fileFormat is bumped on incompatible layout changes.
+const fileFormat = 1
+
+// snapshot is the on-disk representation.
+type snapshot struct {
+	Format     int
+	ModelName  string
+	NumClasses int
+	Resolution int
+	Params     map[string]tensorBlob
+	BNMeans    []tensorBlob
+	BNVars     []tensorBlob
+}
+
+type tensorBlob struct {
+	Shape []int
+	Data  []float32
+}
+
+// Save writes the model's parameters and BN running statistics to w.
+func Save(w io.Writer, m *efficientnet.Model) error {
+	s := snapshot{
+		Format:     fileFormat,
+		ModelName:  m.Config.Name,
+		NumClasses: m.Config.NumClasses,
+		Resolution: m.Config.Resolution,
+		Params:     make(map[string]tensorBlob),
+	}
+	for _, p := range m.Params() {
+		if _, dup := s.Params[p.Name]; dup {
+			return fmt.Errorf("checkpoint: duplicate parameter name %q", p.Name)
+		}
+		s.Params[p.Name] = tensorBlob{
+			Shape: append([]int(nil), p.Data().Shape()...),
+			Data:  append([]float32(nil), p.Data().Data()...),
+		}
+	}
+	for _, bn := range m.BatchNorms() {
+		s.BNMeans = append(s.BNMeans, tensorBlob{Shape: bn.RunningMean.Shape(), Data: append([]float32(nil), bn.RunningMean.Data()...)})
+		s.BNVars = append(s.BNVars, tensorBlob{Shape: bn.RunningVar.Shape(), Data: append([]float32(nil), bn.RunningVar.Data()...)})
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// Load restores parameters and BN statistics into m, which must have the
+// same architecture the checkpoint was saved from.
+func Load(r io.Reader, m *efficientnet.Model) error {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	if s.Format != fileFormat {
+		return fmt.Errorf("checkpoint: unsupported format %d (want %d)", s.Format, fileFormat)
+	}
+	if s.ModelName != m.Config.Name {
+		return fmt.Errorf("checkpoint: saved from model %q, loading into %q", s.ModelName, m.Config.Name)
+	}
+	params := m.Params()
+	if len(s.Params) != len(params) {
+		return fmt.Errorf("checkpoint: has %d params, model has %d", len(s.Params), len(params))
+	}
+	for _, p := range params {
+		blob, ok := s.Params[p.Name]
+		if !ok {
+			return fmt.Errorf("checkpoint: missing parameter %q", p.Name)
+		}
+		if len(blob.Data) != p.Data().Len() {
+			return fmt.Errorf("checkpoint: parameter %q has %d elements, model wants %d", p.Name, len(blob.Data), p.Data().Len())
+		}
+		copy(p.Data().Data(), blob.Data)
+	}
+	bns := m.BatchNorms()
+	if len(s.BNMeans) != len(bns) || len(s.BNVars) != len(bns) {
+		return fmt.Errorf("checkpoint: has %d BN stats, model has %d", len(s.BNMeans), len(bns))
+	}
+	for i, bn := range bns {
+		if len(s.BNMeans[i].Data) != bn.RunningMean.Len() {
+			return fmt.Errorf("checkpoint: BN %d stats size mismatch", i)
+		}
+		copy(bn.RunningMean.Data(), s.BNMeans[i].Data)
+		copy(bn.RunningVar.Data(), s.BNVars[i].Data)
+	}
+	return nil
+}
+
+// SaveFile writes a checkpoint to path atomically (write + rename).
+func SaveFile(path string, m *efficientnet.Model) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, m); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile restores a checkpoint from path.
+func LoadFile(path string, m *efficientnet.Model) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Load(f, m)
+}

@@ -1,0 +1,92 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"effnetscale/internal/autograd"
+	"effnetscale/internal/efficientnet"
+	"effnetscale/internal/nn"
+	"effnetscale/internal/tensor"
+)
+
+func newPico(seed int64) *efficientnet.Model {
+	cfg, _ := efficientnet.ConfigByName("pico", 10)
+	return efficientnet.New(rand.New(rand.NewSource(seed)), cfg)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := newPico(1)
+	// Make BN running stats nontrivial.
+	src.BatchNorms()[0].RunningMean.Data()[0] = 3.25
+
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := newPico(99) // different init
+	if err := Load(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	sp, dp := src.Params(), dst.Params()
+	for i := range sp {
+		for j := range sp[i].Data().Data() {
+			if sp[i].Data().Data()[j] != dp[i].Data().Data()[j] {
+				t.Fatalf("param %s differs after round trip", sp[i].Name)
+			}
+		}
+	}
+	if dst.BatchNorms()[0].RunningMean.Data()[0] != 3.25 {
+		t.Fatal("BN running stats not restored")
+	}
+	// Same outputs on the same input.
+	x := autograd.Constant(tensor.Randn(rand.New(rand.NewSource(5)), 1, 1, 3, 32, 32))
+	ctx := nn.EvalCtx()
+	ys, yd := src.Forward(ctx, x), dst.Forward(ctx, x)
+	for i := range ys.T.Data() {
+		if ys.T.Data()[i] != yd.T.Data()[i] {
+			t.Fatal("restored model produces different outputs")
+		}
+	}
+}
+
+func TestLoadRejectsWrongModel(t *testing.T) {
+	src := newPico(1)
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	cfg, _ := efficientnet.ConfigByName("nano", 10)
+	other := efficientnet.New(rand.New(rand.NewSource(2)), cfg)
+	if err := Load(&buf, other); err == nil {
+		t.Fatal("loading a pico checkpoint into nano must fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	m := newPico(1)
+	if err := Load(bytes.NewReader([]byte("not a checkpoint")), m); err == nil {
+		t.Fatal("garbage input must fail to decode")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	src := newPico(3)
+	if err := SaveFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := newPico(4)
+	if err := LoadFile(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	if src.Params()[0].Data().Data()[0] != dst.Params()[0].Data().Data()[0] {
+		t.Fatal("file round trip lost data")
+	}
+	if err := LoadFile(filepath.Join(dir, "missing.ckpt"), dst); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

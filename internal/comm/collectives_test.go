@@ -1,0 +1,149 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBroadcastFromEveryRoot(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		for root := 0; root < n; root++ {
+			results := make([][]float32, n)
+			runWorld(n, func(rank int, p *Peer) {
+				buf := make([]float32, 7)
+				if rank == root {
+					for i := range buf {
+						buf[i] = float32(root*100 + i)
+					}
+				}
+				p.Broadcast(buf, root)
+				results[rank] = buf
+			})
+			for r := 0; r < n; r++ {
+				for i := 0; i < 7; i++ {
+					want := float32(root*100 + i)
+					if results[r][i] != want {
+						t.Fatalf("n=%d root=%d rank=%d: buf[%d] = %v, want %v", n, root, r, i, results[r][i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllGatherOrdersChunksByRank(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		l := 3
+		results := make([][]float32, n)
+		runWorld(n, func(rank int, p *Peer) {
+			local := make([]float32, l)
+			for i := range local {
+				local[i] = float32(rank*10 + i)
+			}
+			out := make([]float32, n*l)
+			p.AllGather(local, out)
+			results[rank] = out
+		})
+		for r := 0; r < n; r++ {
+			for src := 0; src < n; src++ {
+				for i := 0; i < l; i++ {
+					want := float32(src*10 + i)
+					if got := results[r][src*l+i]; got != want {
+						t.Fatalf("n=%d rank %d: out[%d] = %v, want %v", n, r, src*l+i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReduceScatterChunksSumCorrectly(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 6} {
+		l := 13 // deliberately not divisible by n
+		rng := rand.New(rand.NewSource(int64(n)))
+		inputs := make([][]float32, n)
+		want := make([]float64, l)
+		for r := range inputs {
+			inputs[r] = make([]float32, l)
+			for i := range inputs[r] {
+				inputs[r][i] = float32(rng.NormFloat64())
+				want[i] += float64(inputs[r][i])
+			}
+		}
+		chunks := make([][]float32, n)
+		runWorld(n, func(rank int, p *Peer) {
+			buf := append([]float32(nil), inputs[rank]...)
+			chunks[rank] = p.ReduceScatter(buf)
+		})
+		// Reassemble: rank r holds chunk (r+1) mod n... chunk indices follow
+		// chunkBounds of index (rank+1)%n for n>1, own data for n=1.
+		for r := 0; r < n; r++ {
+			idx := (r + 1) % n
+			if n == 1 {
+				idx = 0
+			}
+			lo, hi := chunkBounds(l, n, idx)
+			if len(chunks[r]) != hi-lo {
+				t.Fatalf("n=%d rank %d: chunk length %d, want %d", n, r, len(chunks[r]), hi-lo)
+			}
+			for i := lo; i < hi; i++ {
+				if math.Abs(float64(chunks[r][i-lo])-want[i]) > 1e-4*(1+math.Abs(want[i])) {
+					t.Fatalf("n=%d rank %d: chunk[%d] = %v, want %v", n, r, i-lo, chunks[r][i-lo], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTreeAllReduceMatchesRing(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 3, 6} { // non-powers fall back to ring
+		l := 37
+		rng := rand.New(rand.NewSource(int64(n * 7)))
+		inputs := make([][]float32, n)
+		want := make([]float64, l)
+		for r := range inputs {
+			inputs[r] = make([]float32, l)
+			for i := range inputs[r] {
+				inputs[r][i] = float32(rng.NormFloat64())
+				want[i] += float64(inputs[r][i])
+			}
+		}
+		results := make([][]float32, n)
+		runWorld(n, func(rank int, p *Peer) {
+			buf := append([]float32(nil), inputs[rank]...)
+			p.TreeAllReduce(buf)
+			results[rank] = buf
+		})
+		for r := 0; r < n; r++ {
+			for i := range want {
+				if math.Abs(float64(results[r][i])-want[i]) > 1e-4*(1+math.Abs(want[i])) {
+					t.Fatalf("n=%d rank %d elem %d: got %v, want %v", n, r, i, results[r][i], want[i])
+				}
+			}
+		}
+		// All ranks must agree bitwise (pairwise combines are commutative).
+		for r := 1; r < n; r++ {
+			for i := range results[0] {
+				if results[r][i] != results[0][i] {
+					t.Fatalf("n=%d: tree all-reduce ranks 0 and %d disagree at %d", n, r, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTreeCostBeatsRingForSmallPayloads(t *testing.T) {
+	lp := LinkParams{BandwidthGBs: 45, LatencyUS: 1.5}
+	small := 1024 // 1 KiB of BN stats
+	if TreeAllReduceSeconds(small, 64, lp) >= RingAllReduceSeconds(small, 64, lp) {
+		t.Fatal("tree must beat ring for small payloads at 64 nodes")
+	}
+	big := 64 << 20
+	if TreeAllReduceSeconds(big, 64, lp) <= RingAllReduceSeconds(big, 64, lp) {
+		t.Fatal("ring must beat tree for large payloads")
+	}
+	if TreeAllReduceSeconds(small, 1, lp) != 0 {
+		t.Fatal("single-node tree must be free")
+	}
+}

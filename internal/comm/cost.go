@@ -1,0 +1,91 @@
+package comm
+
+import "effnetscale/internal/topology"
+
+// LinkParams characterizes one inter-chip link of the TPU-v3 interconnect
+// for the α-β cost model: per-message latency α and per-direction effective
+// bandwidth β.
+type LinkParams struct {
+	// BandwidthGBs is the effective per-link bandwidth in GB/s.
+	BandwidthGBs float64
+	// LatencyUS is the per-hop latency in microseconds.
+	LatencyUS float64
+}
+
+// TPUv3Links holds the calibrated interconnect constants. The bandwidth is
+// fit once against Table 1's 128-core rows (see internal/podsim/constants.go
+// for the calibration story); the other slice sizes are then predictions.
+var TPUv3Links = LinkParams{BandwidthGBs: 45, LatencyUS: 1.5}
+
+// RingAllReduceSeconds returns the modelled wall-clock time of a ring
+// all-reduce of the given payload across n nodes: 2(n−1)/n·B/β + 2(n−1)·α.
+func RingAllReduceSeconds(bytes int, n int, lp LinkParams) float64 {
+	if n <= 1 {
+		return 0
+	}
+	b := float64(bytes)
+	bw := lp.BandwidthGBs * 1e9
+	alpha := lp.LatencyUS * 1e-6
+	return 2*float64(n-1)/float64(n)*b/bw + 2*float64(n-1)*alpha
+}
+
+// Torus2DAllReduceSeconds models the hierarchical all-reduce TPU pods use on
+// their 2-D interconnect: a ring phase along each row (full payload),
+// followed by a ring phase along each column on the row-reduced 1/cols
+// share, then the mirrored gather phases. This is the algorithm from Ying et
+// al. that the paper's distributed training inherits.
+func Torus2DAllReduceSeconds(bytes int, slice topology.Slice, lp LinkParams) float64 {
+	rows, cols := slice.Rows, slice.Cols
+	if rows*cols <= 1 {
+		return 0
+	}
+	b := float64(bytes)
+	bw := lp.BandwidthGBs * 1e9
+	alpha := lp.LatencyUS * 1e-6
+	var t float64
+	if cols > 1 {
+		t += 2 * (float64(cols-1) / float64(cols)) * b / bw
+		t += 2 * float64(cols-1) * alpha
+	}
+	share := b / float64(cols)
+	if rows > 1 {
+		t += 2 * (float64(rows-1) / float64(rows)) * share / bw
+		t += 2 * float64(rows-1) * alpha
+	}
+	return t
+}
+
+// TreeAllReduceSeconds models a recursive-doubling all-reduce: log2(n)
+// rounds, each moving the full payload once. Better than the ring when the
+// payload is small and latency dominates; worse for large payloads.
+func TreeAllReduceSeconds(bytes int, n int, lp LinkParams) float64 {
+	if n <= 1 {
+		return 0
+	}
+	b := float64(bytes)
+	bw := lp.BandwidthGBs * 1e9
+	alpha := lp.LatencyUS * 1e-6
+	rounds := 0
+	for x := n; x > 1; x >>= 1 {
+		rounds++
+	}
+	return float64(rounds) * (b/bw + alpha)
+}
+
+// GroupAllReduceSeconds models the small, latency-dominated all-reduce of
+// per-channel batch-norm statistics within a BN replica group (§3.4). bytes
+// is the statistics payload; diameter is the group's maximum hop distance
+// (2-D tiled groups have much smaller diameters than 1-D runs of the same
+// size, which is the point of tiling).
+func GroupAllReduceSeconds(bytes, groupSize, diameter int, lp LinkParams) float64 {
+	if groupSize <= 1 {
+		return 0
+	}
+	b := float64(bytes)
+	bw := lp.BandwidthGBs * 1e9
+	alpha := lp.LatencyUS * 1e-6
+	// Ring over the group members, with per-step latency scaled by how far
+	// apart members physically are.
+	hops := float64(diameter)/float64(groupSize-1) + 1
+	return 2*float64(groupSize-1)/float64(groupSize)*b/bw + 2*float64(groupSize-1)*alpha*hops
+}

@@ -1,0 +1,269 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"effnetscale/internal/tensor"
+)
+
+func miniDataset() *Dataset {
+	return New(MiniConfig(4, 256, 16))
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	d := miniDataset()
+	r := d.Config().Resolution
+	a := make([]float32, 3*r*r)
+	b := make([]float32, 3*r*r)
+	la := d.Render(0, 17, a)
+	lb := d.Render(0, 17, b)
+	if la != lb {
+		t.Fatalf("labels differ: %d vs %d", la, lb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pixel %d differs between identical renders", i)
+		}
+	}
+}
+
+func TestRenderSplitsDiffer(t *testing.T) {
+	d := miniDataset()
+	r := d.Config().Resolution
+	a := make([]float32, 3*r*r)
+	b := make([]float32, 3*r*r)
+	d.Render(0, 5, a)
+	d.Render(1, 5, b)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("train and val image 5 are identical; splits must be independent")
+	}
+}
+
+func TestLabelsBalanced(t *testing.T) {
+	d := miniDataset()
+	counts := make([]int, 4)
+	for i := 0; i < 256; i++ {
+		counts[d.TrainLabel(i)]++
+	}
+	for c, n := range counts {
+		if n != 64 {
+			t.Fatalf("class %d has %d samples, want 64", c, n)
+		}
+	}
+}
+
+func TestClassesAreSeparated(t *testing.T) {
+	// Mean within-class pixel distance must be smaller than between-class
+	// distance — otherwise the dataset is unlearnable and all training
+	// experiments are meaningless.
+	d := New(MiniConfig(4, 64, 16))
+	r := d.Config().Resolution
+	n := 8 // images per class to sample
+	imgs := make([][][]float32, 4)
+	for c := 0; c < 4; c++ {
+		for k := 0; k < n; k++ {
+			img := make([]float32, 3*r*r)
+			idx := k*4 + c // labels cycle mod numClasses
+			if got := d.Render(0, idx, img); got != c {
+				t.Fatalf("index %d: label %d, want %d", idx, got, c)
+			}
+			imgs[c] = append(imgs[c], img)
+		}
+	}
+	dist := func(a, b []float32) float64 {
+		var s float64
+		for i := range a {
+			df := float64(a[i] - b[i])
+			s += df * df
+		}
+		return math.Sqrt(s / float64(len(a)))
+	}
+	var within, between float64
+	var wn, bn int
+	for c1 := 0; c1 < 4; c1++ {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				within += dist(imgs[c1][i], imgs[c1][j])
+				wn++
+			}
+			for c2 := c1 + 1; c2 < 4; c2++ {
+				for j := 0; j < n; j++ {
+					between += dist(imgs[c1][i], imgs[c2][j])
+					bn++
+				}
+			}
+		}
+	}
+	within /= float64(wn)
+	between /= float64(bn)
+	if between <= within*1.1 {
+		t.Fatalf("classes not separated: within=%.3f between=%.3f", within, between)
+	}
+}
+
+func TestPixelStatisticsReasonable(t *testing.T) {
+	d := miniDataset()
+	r := d.Config().Resolution
+	img := make([]float32, 3*r*r)
+	var sum, sq float64
+	var n int
+	for idx := 0; idx < 16; idx++ {
+		d.Render(0, idx, img)
+		for _, v := range img {
+			sum += float64(v)
+			sq += float64(v) * float64(v)
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sq/float64(n) - mean*mean)
+	if math.Abs(mean) > 0.5 {
+		t.Fatalf("pixel mean %v too far from 0", mean)
+	}
+	if std < 0.2 || std > 2.5 {
+		t.Fatalf("pixel std %v outside sane range", std)
+	}
+}
+
+func TestShardPartitionQuick(t *testing.T) {
+	// Shard sizes must sum to the split size for any world size.
+	d := miniDataset()
+	f := func(w uint8) bool {
+		world := int(w)%16 + 1
+		total := 0
+		for r := 0; r < world; r++ {
+			total += NewShard(d, 0, r, world).Len()
+		}
+		return total == d.Config().TrainSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShardsDisjointWithinStep(t *testing.T) {
+	// At a fixed (epoch, step), different replicas must see different
+	// global indices (data parallelism without sample duplication).
+	d := miniDataset()
+	world := 4
+	seen := map[int]int{}
+	for r := 0; r < world; r++ {
+		s := NewShard(d, 0, r, world)
+		for _, idx := range s.BatchIndices(0, 0, 8) {
+			if prev, dup := seen[idx]; dup {
+				t.Fatalf("index %d assigned to replicas %d and %d", idx, prev, r)
+			}
+			seen[idx] = r
+		}
+	}
+}
+
+func TestEpochPermutationIsBijective(t *testing.T) {
+	// Over one epoch, a single-replica shard must visit every index
+	// exactly once.
+	d := New(MiniConfig(4, 100, 16)) // non-power-of-two size
+	s := NewShard(d, 0, 0, 1)
+	for _, epoch := range []int{0, 1, 5} {
+		seen := make([]bool, 100)
+		for pos := 0; pos < 100; pos++ {
+			g := s.globalIndex(epoch, pos)
+			if g < 0 || g >= 100 {
+				t.Fatalf("epoch %d pos %d: index %d out of range", epoch, pos, g)
+			}
+			if seen[g] {
+				t.Fatalf("epoch %d: index %d visited twice", epoch, g)
+			}
+			seen[g] = true
+		}
+	}
+}
+
+func TestEpochsShuffleDifferently(t *testing.T) {
+	d := miniDataset()
+	s := NewShard(d, 0, 0, 1)
+	a := s.BatchIndices(0, 0, 32)
+	b := s.BatchIndices(1, 0, 32)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("epoch 0 and epoch 1 orders are identical")
+	}
+}
+
+func TestFillBatchShapesAndLabels(t *testing.T) {
+	d := miniDataset()
+	s := NewShard(d, 0, 0, 2)
+	batch := tensor.New(8, 3, 16, 16)
+	labels := make([]int, 8)
+	s.FillBatch(0, 0, batch, labels)
+	for i, l := range labels {
+		if l < 0 || l >= 4 {
+			t.Fatalf("label[%d] = %d out of range", i, l)
+		}
+	}
+	var nonzero bool
+	for _, v := range batch.Data() {
+		if v != 0 {
+			nonzero = true
+			break
+		}
+	}
+	if !nonzero {
+		t.Fatal("batch is all zeros")
+	}
+}
+
+func TestAugmentPreservesShapeAndValues(t *testing.T) {
+	d := miniDataset()
+	batch := tensor.New(4, 3, 16, 16)
+	labels := make([]int, 4)
+	NewShard(d, 0, 0, 1).FillBatch(0, 0, batch, labels)
+	orig := batch.Clone()
+	Augment(batch, rand.New(rand.NewSource(3)))
+	// Augmentation must keep value range similar (it only moves pixels).
+	if batch.MaxAbs() > orig.MaxAbs()+1e-5 {
+		t.Fatalf("augment increased max abs value: %v -> %v", orig.MaxAbs(), batch.MaxAbs())
+	}
+}
+
+func TestPipelineDeliversAndStops(t *testing.T) {
+	d := miniDataset()
+	s := NewShard(d, 0, 0, 1)
+	p := NewPipeline(s, 4, 3, 2, true, 7)
+	got := 0
+	for b := range p.C {
+		if b.Images.Dim(0) != 4 {
+			t.Fatalf("batch size %d, want 4", b.Images.Dim(0))
+		}
+		got++
+		if got == 7 {
+			p.Stop()
+			break
+		}
+	}
+	// Drain: channel must close after Stop.
+	for range p.C {
+	}
+}
+
+func TestImageNetConfigCanonicalSizes(t *testing.T) {
+	c := ImageNetConfig(260)
+	if c.TrainSize != 1281167 || c.ValSize != 50000 || c.NumClasses != 1000 {
+		t.Fatalf("ImageNet split sizes wrong: %+v", c)
+	}
+}

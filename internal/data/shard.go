@@ -1,0 +1,149 @@
+package data
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"effnetscale/internal/tensor"
+)
+
+// Shard is one replica's deterministic view of a dataset split. Replica r of
+// R sees the strided subset {r, r+R, r+2R, ...}; within an epoch the order is
+// permuted by an affine index map seeded by the epoch, so all replicas agree
+// on the permutation without communicating — exactly how the paper's
+// distributed loop shards both training and evaluation data.
+type Shard struct {
+	D           *Dataset
+	Split       int // 0 = train, 1 = val
+	Rank, World int
+
+	size int // number of samples in this shard
+}
+
+// NewShard creates replica rank's shard of the given split.
+func NewShard(d *Dataset, split, rank, world int) *Shard {
+	if world < 1 || rank < 0 || rank >= world {
+		panic(fmt.Sprintf("data: invalid shard rank %d of %d", rank, world))
+	}
+	total := d.cfg.TrainSize
+	if split == 1 {
+		total = d.cfg.ValSize
+	}
+	size := total / world
+	if rank < total%world {
+		size++
+	}
+	return &Shard{D: d, Split: split, Rank: rank, World: world, size: size}
+}
+
+// Len returns the number of samples in this shard.
+func (s *Shard) Len() int { return s.size }
+
+// TotalLen returns the split's full size across all shards.
+func (s *Shard) TotalLen() int {
+	if s.Split == 1 {
+		return s.D.cfg.ValSize
+	}
+	return s.D.cfg.TrainSize
+}
+
+// epochPerm maps a within-epoch position to a global dataset index using an
+// affine permutation over the full split (a odd => coprime with any power of
+// two; we permute over the next power of two and skip out-of-range values).
+func (s *Shard) globalIndex(epoch, pos int) int {
+	total := s.TotalLen()
+	// Size of permutation domain: next power of two >= total.
+	n := 1
+	for n < total {
+		n <<= 1
+	}
+	rng := rand.New(rand.NewSource(int64(s.D.cfg.Seed)*1e6 + int64(epoch)*7919 + int64(s.Split)))
+	a := rng.Intn(n/2)*2 + 1 // odd multiplier: bijective mod 2^k
+	b := rng.Intn(n)
+	// Cycle-walk until the value lands inside the split.
+	x := pos
+	for {
+		x = (a*x + b) & (n - 1)
+		if x < total {
+			return x
+		}
+	}
+}
+
+// BatchIndices returns the global dataset indices for this shard's batch at
+// the given epoch and step, with perShardBatch samples. Indices wrap around
+// the shard (steady-state training semantics).
+func (s *Shard) BatchIndices(epoch, step, perShardBatch int) []int {
+	idx := make([]int, perShardBatch)
+	for i := 0; i < perShardBatch; i++ {
+		pos := (step*perShardBatch + i) % s.size
+		// Position within shard -> position within split -> permuted index.
+		idx[i] = s.globalIndex(epoch, pos*s.World+s.Rank)
+	}
+	return idx
+}
+
+// FillBatch renders this shard's batch for (epoch, step) into batch/labels.
+func (s *Shard) FillBatch(epoch, step int, batch *tensor.Tensor, labels []int) {
+	n := batch.Dim(0)
+	indices := s.BatchIndices(epoch, step, n)
+	s.D.FillBatch(s.Split, indices, batch, labels)
+}
+
+// Batch is one prefetched unit of work flowing through a Pipeline.
+type Batch struct {
+	Images *tensor.Tensor
+	Labels []int
+	Epoch  int
+	Step   int
+}
+
+// Pipeline prefetches shard batches on background goroutines, modelling the
+// host-side input pipeline that keeps accelerator cores fed. Close the
+// context to stop it.
+type Pipeline struct {
+	C <-chan *Batch
+
+	cancel context.CancelFunc
+}
+
+// NewPipeline starts prefetching batches of size batchSize from shard,
+// beginning at epoch 0 step 0, with stepsPerEpoch steps per epoch. augment
+// applies training augmentation with the given seed; depth is the prefetch
+// buffer size.
+func NewPipeline(shard *Shard, batchSize, stepsPerEpoch, depth int, augment bool, seed int64) *Pipeline {
+	if depth < 1 {
+		depth = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan *Batch, depth)
+	go func() {
+		defer close(ch)
+		rng := rand.New(rand.NewSource(seed))
+		for epoch := 0; ; epoch++ {
+			for step := 0; step < stepsPerEpoch; step++ {
+				b := &Batch{
+					Images: tensor.New(batchSize, 3, shard.D.cfg.Resolution, shard.D.cfg.Resolution),
+					Labels: make([]int, batchSize),
+					Epoch:  epoch,
+					Step:   step,
+				}
+				shard.FillBatch(epoch, step, b.Images, b.Labels)
+				if augment {
+					Augment(b.Images, rng)
+				}
+				select {
+				case ch <- b:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return &Pipeline{C: ch, cancel: cancel}
+}
+
+// Stop terminates the prefetch goroutine. The channel is drained and closed
+// asynchronously; pending batches may still be delivered.
+func (p *Pipeline) Stop() { p.cancel() }

@@ -1,0 +1,143 @@
+// Package efficientnet builds the EfficientNet model family (Tan & Le 2019)
+// on top of the nn layer library: MBConv blocks with squeeze-excitation,
+// compound scaling of width/depth/resolution, and the B0–B7 configurations
+// the paper trains (B2 and B5 in its evaluation). Scaled-down variants
+// (Pico/Nano/Micro) make real CPU training feasible for the mini-scale
+// validation experiments.
+package efficientnet
+
+import "math"
+
+// BlockArgs describes one stage of MBConv blocks before compound scaling.
+type BlockArgs struct {
+	Kernel      int     // depthwise kernel size
+	Repeats     int     // baseline number of blocks in the stage
+	InFilters   int     // baseline input channels
+	OutFilters  int     // baseline output channels
+	ExpandRatio int     // MBConv expansion factor (1 or 6)
+	Stride      int     // stride of the first block in the stage
+	SERatio     float64 // squeeze-excitation ratio (0.25)
+}
+
+// baselineBlocks is the EfficientNet-B0 stage table.
+var baselineBlocks = []BlockArgs{
+	{Kernel: 3, Repeats: 1, InFilters: 32, OutFilters: 16, ExpandRatio: 1, Stride: 1, SERatio: 0.25},
+	{Kernel: 3, Repeats: 2, InFilters: 16, OutFilters: 24, ExpandRatio: 6, Stride: 2, SERatio: 0.25},
+	{Kernel: 5, Repeats: 2, InFilters: 24, OutFilters: 40, ExpandRatio: 6, Stride: 2, SERatio: 0.25},
+	{Kernel: 3, Repeats: 3, InFilters: 40, OutFilters: 80, ExpandRatio: 6, Stride: 2, SERatio: 0.25},
+	{Kernel: 5, Repeats: 3, InFilters: 80, OutFilters: 112, ExpandRatio: 6, Stride: 1, SERatio: 0.25},
+	{Kernel: 5, Repeats: 4, InFilters: 112, OutFilters: 192, ExpandRatio: 6, Stride: 2, SERatio: 0.25},
+	{Kernel: 3, Repeats: 1, InFilters: 192, OutFilters: 320, ExpandRatio: 6, Stride: 1, SERatio: 0.25},
+}
+
+const (
+	baselineStemFilters = 32
+	baselineHeadFilters = 1280
+)
+
+// Config selects a member of the EfficientNet family.
+type Config struct {
+	Name string
+	// WidthCoeff and DepthCoeff are the compound-scaling coefficients.
+	WidthCoeff, DepthCoeff float64
+	// Resolution is the train/eval image size.
+	Resolution int
+	// DropoutRate is the final-classifier dropout.
+	DropoutRate float64
+	// DropConnectRate is the stochastic-depth rate scaled over block index.
+	DropConnectRate float64
+	// DepthDivisor is the channel-rounding granularity (8 for the standard
+	// family; smaller for the CPU-scale variants so tiny widths survive).
+	DepthDivisor int
+	// NumClasses sizes the classifier head.
+	NumClasses int
+	// MinResolutionStages caps how many stride-2 stages are kept; 0 keeps
+	// all. Tiny-resolution variants drop later downsampling to avoid 1×1
+	// feature maps.
+	MinResolutionStages int
+}
+
+// Standard family coefficients from Tan & Le, Table 1 and released code.
+var family = map[string]Config{
+	"b0": {Name: "b0", WidthCoeff: 1.0, DepthCoeff: 1.0, Resolution: 224, DropoutRate: 0.2},
+	"b1": {Name: "b1", WidthCoeff: 1.0, DepthCoeff: 1.1, Resolution: 240, DropoutRate: 0.2},
+	"b2": {Name: "b2", WidthCoeff: 1.1, DepthCoeff: 1.2, Resolution: 260, DropoutRate: 0.3},
+	"b3": {Name: "b3", WidthCoeff: 1.2, DepthCoeff: 1.4, Resolution: 300, DropoutRate: 0.3},
+	"b4": {Name: "b4", WidthCoeff: 1.4, DepthCoeff: 1.8, Resolution: 380, DropoutRate: 0.4},
+	"b5": {Name: "b5", WidthCoeff: 1.6, DepthCoeff: 2.2, Resolution: 456, DropoutRate: 0.4},
+	"b6": {Name: "b6", WidthCoeff: 1.8, DepthCoeff: 2.6, Resolution: 528, DropoutRate: 0.5},
+	"b7": {Name: "b7", WidthCoeff: 2.0, DepthCoeff: 3.1, Resolution: 600, DropoutRate: 0.5},
+
+	// CPU-scale variants for real training in tests/examples. They keep the
+	// full MBConv topology but shrink width/depth/resolution drastically.
+	"pico":  {Name: "pico", WidthCoeff: 0.125, DepthCoeff: 0.2, Resolution: 32, DropoutRate: 0.1, DepthDivisor: 4},
+	"nano":  {Name: "nano", WidthCoeff: 0.25, DepthCoeff: 0.33, Resolution: 48, DropoutRate: 0.1, DepthDivisor: 4},
+	"micro": {Name: "micro", WidthCoeff: 0.5, DepthCoeff: 0.5, Resolution: 64, DropoutRate: 0.2, DepthDivisor: 8},
+}
+
+// ConfigByName returns the named family member with the given class count.
+// Known names: b0..b7, pico, nano, micro.
+func ConfigByName(name string, numClasses int) (Config, bool) {
+	c, ok := family[name]
+	if !ok {
+		return Config{}, false
+	}
+	c.NumClasses = numClasses
+	if c.DepthDivisor == 0 {
+		c.DepthDivisor = 8
+	}
+	if c.DropConnectRate == 0 {
+		c.DropConnectRate = 0.2
+	}
+	return c, true
+}
+
+// FamilyNames lists the available configuration names in a stable order.
+func FamilyNames() []string {
+	return []string{"b0", "b1", "b2", "b3", "b4", "b5", "b6", "b7", "pico", "nano", "micro"}
+}
+
+// RoundFilters applies the compound-scaling channel rounding rule: multiply
+// by the width coefficient and round to the nearest multiple of divisor,
+// never dropping below 90% of the scaled value.
+func RoundFilters(filters int, widthCoeff float64, divisor int) int {
+	if widthCoeff == 1 {
+		return filters
+	}
+	f := widthCoeff * float64(filters)
+	newF := math.Max(float64(divisor), float64(int(f+float64(divisor)/2)/divisor*divisor))
+	if newF < 0.9*f {
+		newF += float64(divisor)
+	}
+	return int(newF)
+}
+
+// RoundRepeats applies depth scaling: ceil(depthCoeff × repeats).
+func RoundRepeats(repeats int, depthCoeff float64) int {
+	if depthCoeff == 1 {
+		return repeats
+	}
+	return int(math.Ceil(depthCoeff * float64(repeats)))
+}
+
+// ScaledBlocks returns the stage table after compound scaling under cfg.
+func (cfg Config) ScaledBlocks() []BlockArgs {
+	out := make([]BlockArgs, len(baselineBlocks))
+	for i, b := range baselineBlocks {
+		b.InFilters = RoundFilters(b.InFilters, cfg.WidthCoeff, cfg.DepthDivisor)
+		b.OutFilters = RoundFilters(b.OutFilters, cfg.WidthCoeff, cfg.DepthDivisor)
+		b.Repeats = RoundRepeats(b.Repeats, cfg.DepthCoeff)
+		out[i] = b
+	}
+	return out
+}
+
+// StemFilters returns the scaled stem width.
+func (cfg Config) StemFilters() int {
+	return RoundFilters(baselineStemFilters, cfg.WidthCoeff, cfg.DepthDivisor)
+}
+
+// HeadFilters returns the scaled head width.
+func (cfg Config) HeadFilters() int {
+	return RoundFilters(baselineHeadFilters, cfg.WidthCoeff, cfg.DepthDivisor)
+}

@@ -1,0 +1,234 @@
+package efficientnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"effnetscale/internal/autograd"
+	"effnetscale/internal/nn"
+	"effnetscale/internal/tensor"
+)
+
+// MBConv is the mobile inverted bottleneck block with squeeze-excitation:
+// 1×1 expand → depthwise k×k → SE → 1×1 project, with a drop-path residual
+// when the shapes allow it.
+type MBConv struct {
+	Expand     *nn.Conv2D // nil when ExpandRatio == 1
+	ExpandBN   *nn.BatchNorm
+	Depthwise  *nn.DepthwiseConv2D
+	DWBN       *nn.BatchNorm
+	SE         *nn.SqueezeExcite
+	Project    *nn.Conv2D
+	ProjectBN  *nn.BatchNorm
+	DropPath   *nn.DropPath
+	HasSkip    bool
+	In, Out    int
+	Stride     int
+	Kernel     int
+	ExpandedCh int
+}
+
+// NewMBConv builds one MBConv block.
+func NewMBConv(rng *rand.Rand, name string, args BlockArgs, dropRate float64) *MBConv {
+	expanded := args.InFilters * args.ExpandRatio
+	b := &MBConv{
+		In: args.InFilters, Out: args.OutFilters,
+		Stride: args.Stride, Kernel: args.Kernel,
+		ExpandedCh: expanded,
+		HasSkip:    args.Stride == 1 && args.InFilters == args.OutFilters,
+		DropPath:   &nn.DropPath{Rate: dropRate},
+	}
+	if args.ExpandRatio != 1 {
+		b.Expand = nn.NewConv2D(rng, name+".expand", args.InFilters, expanded, 1, 1)
+		b.ExpandBN = nn.NewBatchNorm(name+".expand_bn", expanded)
+	}
+	b.Depthwise = nn.NewDepthwiseConv2D(rng, name+".dw", expanded, args.Kernel, args.Stride)
+	b.DWBN = nn.NewBatchNorm(name+".dw_bn", expanded)
+	squeezed := int(float64(args.InFilters) * args.SERatio)
+	b.SE = nn.NewSqueezeExcite(rng, name+".se", expanded, squeezed)
+	b.Project = nn.NewConv2D(rng, name+".project", expanded, args.OutFilters, 1, 1)
+	b.ProjectBN = nn.NewBatchNorm(name+".project_bn", args.OutFilters)
+	return b
+}
+
+// Forward runs the block.
+func (b *MBConv) Forward(ctx *nn.Ctx, x *autograd.Value) *autograd.Value {
+	h := x
+	if b.Expand != nil {
+		h = autograd.Swish(b.ExpandBN.Forward(ctx, b.Expand.Forward(ctx, h)))
+	}
+	h = autograd.Swish(b.DWBN.Forward(ctx, b.Depthwise.Forward(ctx, h)))
+	h = b.SE.Forward(ctx, h)
+	h = b.ProjectBN.Forward(ctx, b.Project.Forward(ctx, h))
+	if b.HasSkip {
+		h = autograd.Add(b.DropPath.Forward(ctx, h), x)
+	}
+	return h
+}
+
+// Params returns all trainable parameters of the block.
+func (b *MBConv) Params() []*nn.Param {
+	var ps []*nn.Param
+	if b.Expand != nil {
+		ps = append(ps, b.Expand.Params()...)
+		ps = append(ps, b.ExpandBN.Params()...)
+	}
+	ps = append(ps, b.Depthwise.Params()...)
+	ps = append(ps, b.DWBN.Params()...)
+	ps = append(ps, b.SE.Params()...)
+	ps = append(ps, b.Project.Params()...)
+	ps = append(ps, b.ProjectBN.Params()...)
+	return ps
+}
+
+// batchNorms returns the block's BN layers for reducer rebinding.
+func (b *MBConv) batchNorms() []*nn.BatchNorm {
+	var bns []*nn.BatchNorm
+	if b.ExpandBN != nil {
+		bns = append(bns, b.ExpandBN)
+	}
+	return append(bns, b.DWBN, b.ProjectBN)
+}
+
+// Model is a full EfficientNet: stem conv, MBConv stages, head conv,
+// global pooling, dropout and the classifier.
+type Model struct {
+	Config Config
+
+	StemConv *nn.Conv2D
+	StemBN   *nn.BatchNorm
+	Blocks   []*MBConv
+	HeadConv *nn.Conv2D
+	HeadBN   *nn.BatchNorm
+	Dropout  *nn.Dropout
+	FC       *nn.Dense
+
+	params []*nn.Param
+}
+
+// New builds an EfficientNet for cfg with weights drawn from rng.
+func New(rng *rand.Rand, cfg Config) *Model {
+	if cfg.DepthDivisor == 0 {
+		cfg.DepthDivisor = 8
+	}
+	if cfg.NumClasses == 0 {
+		cfg.NumClasses = 1000
+	}
+	m := &Model{Config: cfg}
+	stem := cfg.StemFilters()
+	m.StemConv = nn.NewConv2D(rng, "stem", 3, stem, 3, 2)
+	m.StemBN = nn.NewBatchNorm("stem_bn", stem)
+
+	blocks := cfg.ScaledBlocks()
+	total := 0
+	for _, s := range blocks {
+		total += s.Repeats
+	}
+	idx := 0
+	prev := stem
+	for si, stage := range blocks {
+		for r := 0; r < stage.Repeats; r++ {
+			args := stage
+			args.InFilters = prev
+			if r > 0 {
+				args.Stride = 1
+				args.InFilters = stage.OutFilters
+			}
+			dropRate := cfg.DropConnectRate * float64(idx) / float64(total)
+			name := fmt.Sprintf("block%d_%d", si+1, r)
+			blk := NewMBConv(rng, name, args, dropRate)
+			m.Blocks = append(m.Blocks, blk)
+			prev = stage.OutFilters
+			idx++
+		}
+	}
+	head := cfg.HeadFilters()
+	m.HeadConv = nn.NewConv2D(rng, "head", prev, head, 1, 1)
+	m.HeadBN = nn.NewBatchNorm("head_bn", head)
+	m.Dropout = &nn.Dropout{Rate: cfg.DropoutRate}
+	m.FC = nn.NewDense(rng, "fc", head, cfg.NumClasses)
+
+	m.params = m.collectParams()
+	return m
+}
+
+// NewByName builds the named family member, panicking on unknown names
+// (use ConfigByName to probe).
+func NewByName(rng *rand.Rand, name string, numClasses int) *Model {
+	cfg, ok := ConfigByName(name, numClasses)
+	if !ok {
+		panic(fmt.Sprintf("efficientnet: unknown model %q", name))
+	}
+	return New(rng, cfg)
+}
+
+// Forward maps images [N,3,H,W] to logits [N,NumClasses].
+func (m *Model) Forward(ctx *nn.Ctx, x *autograd.Value) *autograd.Value {
+	h := autograd.Swish(m.StemBN.Forward(ctx, m.StemConv.Forward(ctx, x)))
+	for _, b := range m.Blocks {
+		h = b.Forward(ctx, h)
+	}
+	h = autograd.Swish(m.HeadBN.Forward(ctx, m.HeadConv.Forward(ctx, h)))
+	pooled := autograd.GlobalAvgPool(h) // [N, head]
+	pooled = m.Dropout.Forward(ctx, pooled)
+	return m.FC.Forward(ctx, pooled)
+}
+
+func (m *Model) collectParams() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, m.StemConv.Params()...)
+	ps = append(ps, m.StemBN.Params()...)
+	for _, b := range m.Blocks {
+		ps = append(ps, b.Params()...)
+	}
+	ps = append(ps, m.HeadConv.Params()...)
+	ps = append(ps, m.HeadBN.Params()...)
+	ps = append(ps, m.FC.Params()...)
+	return ps
+}
+
+// Params returns every trainable parameter (stable order).
+func (m *Model) Params() []*nn.Param { return m.params }
+
+// BatchNorms returns every BN layer, letting the distributed engine install
+// group statistics reducers (§3.4).
+func (m *Model) BatchNorms() []*nn.BatchNorm {
+	bns := []*nn.BatchNorm{m.StemBN}
+	for _, b := range m.Blocks {
+		bns = append(bns, b.batchNorms()...)
+	}
+	return append(bns, m.HeadBN)
+}
+
+// NumParams returns the total element count of all trainable parameters.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.params {
+		n += p.Data().Len()
+	}
+	return n
+}
+
+// CopyWeightsFrom copies all parameters and BN running statistics from src.
+// Models must have identical architecture. Used to give every replica the
+// same initial weights.
+func (m *Model) CopyWeightsFrom(src *Model) {
+	sp := src.Params()
+	dp := m.Params()
+	if len(sp) != len(dp) {
+		panic("efficientnet: CopyWeightsFrom architecture mismatch")
+	}
+	for i := range dp {
+		dp[i].Data().CopyFrom(sp[i].Data())
+	}
+	sb, db := src.BatchNorms(), m.BatchNorms()
+	for i := range db {
+		db[i].RunningMean.CopyFrom(sb[i].RunningMean)
+		db[i].RunningVar.CopyFrom(sb[i].RunningVar)
+	}
+}
+
+// InputTensor allocates an input batch tensor of the model's resolution.
+func (m *Model) InputTensor(batch int) *tensor.Tensor {
+	return tensor.New(batch, 3, m.Config.Resolution, m.Config.Resolution)
+}

@@ -1,0 +1,107 @@
+package efficientnet
+
+// Stats summarizes a model's size and compute cost. FLOPs follows the
+// EfficientNet paper's convention of counting multiply-adds as single
+// operations (so B0 ≈ 0.39 G), which is also the convention the pod
+// simulator's roofline model is calibrated in.
+type Stats struct {
+	Params       int     // trainable parameter count
+	FLOPsPerImg  float64 // forward multiply-adds per image
+	Resolution   int     // input resolution used for the FLOPs figure
+	NumBlocks    int     // MBConv block count
+	GradBytes    int     // bytes all-reduced per step (fp32 gradients)
+	ActivationHW int     // final feature-map side length
+	BNChannels   int     // total channels across all BN layers (stats payload)
+	// ActElemsPerImg is the total activation volume one image produces
+	// across all conv outputs — the payload a model-parallel split must
+	// exchange at shard boundaries (§5 future-work analysis).
+	ActElemsPerImg float64
+}
+
+// ComputeStats derives parameter and FLOP counts analytically from the
+// configuration, without materializing weights. It mirrors the builder in
+// model.go exactly; TestStatsMatchBuiltModel enforces the agreement.
+func ComputeStats(cfg Config) Stats {
+	if cfg.DepthDivisor == 0 {
+		cfg.DepthDivisor = 8
+	}
+	if cfg.NumClasses == 0 {
+		cfg.NumClasses = 1000
+	}
+	var s Stats
+	s.Resolution = cfg.Resolution
+	res := cfg.Resolution
+
+	convOut := func(in, k, stride int) int {
+		pad := (k - 1) / 2
+		return (in+2*pad-k)/stride + 1
+	}
+
+	addConv := func(cin, cout, k, stride, hw int) int {
+		out := convOut(hw, k, stride)
+		s.Params += cout * cin * k * k
+		s.FLOPsPerImg += float64(cout) * float64(out) * float64(out) * float64(cin) * float64(k) * float64(k)
+		s.ActElemsPerImg += float64(cout) * float64(out) * float64(out)
+		return out
+	}
+	addDW := func(c, k, stride, hw int) int {
+		out := convOut(hw, k, stride)
+		s.Params += c * k * k
+		s.FLOPsPerImg += float64(c) * float64(out) * float64(out) * float64(k) * float64(k)
+		s.ActElemsPerImg += float64(c) * float64(out) * float64(out)
+		return out
+	}
+	addBN := func(c int) {
+		s.Params += 2 * c
+		s.BNChannels += c
+	}
+	addDense := func(in, out int) {
+		s.Params += in*out + out
+		s.FLOPsPerImg += float64(in) * float64(out)
+	}
+
+	stem := cfg.StemFilters()
+	res = addConv(3, stem, 3, 2, res)
+	addBN(stem)
+
+	prev := stem
+	for _, stage := range cfg.ScaledBlocks() {
+		for r := 0; r < stage.Repeats; r++ {
+			in := prev
+			stride := stage.Stride
+			if r > 0 {
+				in = stage.OutFilters
+				stride = 1
+			}
+			expanded := in * stage.ExpandRatio
+			if stage.ExpandRatio != 1 {
+				res = addConv(in, expanded, 1, 1, res)
+				addBN(expanded)
+			}
+			res = addDW(expanded, stage.Kernel, stride, res)
+			addBN(expanded)
+			squeezed := int(float64(in) * stage.SERatio)
+			if squeezed < 1 {
+				squeezed = 1
+			}
+			addDense(expanded, squeezed)
+			addDense(squeezed, expanded)
+			res = addConv(expanded, stage.OutFilters, 1, 1, res)
+			addBN(stage.OutFilters)
+			prev = stage.OutFilters
+			s.NumBlocks++
+		}
+	}
+	head := cfg.HeadFilters()
+	res = addConv(prev, head, 1, 1, res)
+	addBN(head)
+	addDense(head, cfg.NumClasses)
+
+	s.ActivationHW = res
+	s.GradBytes = s.Params * 4
+	return s
+}
+
+// TrainFLOPsPerImg estimates training compute per image: forward plus
+// roughly 2× for the backward pass (the standard accounting).
+func (s Stats) TrainFLOPsPerImg() float64 { return 3 * s.FLOPsPerImg }

@@ -1,0 +1,155 @@
+// Package metrics provides accuracy measures, moving averages and the
+// plain-text table renderer used to print the reproduced paper tables in the
+// same shape as the originals.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TopK returns the top-1 and top-k hit counts for a batch of logit rows
+// against integer labels.
+func TopK(logits []float32, rows, cols, k int, labels []int) (top1, topk int) {
+	if len(labels) < rows {
+		panic("metrics: not enough labels")
+	}
+	type sv struct {
+		v float32
+		i int
+	}
+	for r := 0; r < rows; r++ {
+		row := logits[r*cols : (r+1)*cols]
+		svs := make([]sv, cols)
+		for i, v := range row {
+			svs[i] = sv{v, i}
+		}
+		sort.Slice(svs, func(a, b int) bool { return svs[a].v > svs[b].v })
+		if svs[0].i == labels[r] {
+			top1++
+		}
+		for i := 0; i < k && i < cols; i++ {
+			if svs[i].i == labels[r] {
+				topk++
+				break
+			}
+		}
+	}
+	return top1, topk
+}
+
+// EMA is an exponential moving average.
+type EMA struct {
+	Decay float64
+	val   float64
+	init  bool
+}
+
+// Update folds x into the average and returns the new value.
+func (e *EMA) Update(x float64) float64 {
+	if !e.init {
+		e.val = x
+		e.init = true
+	} else {
+		e.val = e.Decay*e.val + (1-e.Decay)*x
+	}
+	return e.val
+}
+
+// Value returns the current average (0 before any update).
+func (e *EMA) Value() float64 { return e.val }
+
+// Table renders aligned plain-text tables in the visual shape of the
+// paper's Tables 1 and 2.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v semantics.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		case float32:
+			row[i] = trimFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Rows returns the formatted cell matrix (for tests and CSV export).
+func (t *Table) Rows() [][]string { return t.rows }
+
+// CSV renders the table as comma-separated values with a header line.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTopK(t *testing.T) {
+	logits := []float32{
+		0.1, 0.5, 0.3, 0.1, // argmax 1: top-1 and top-2 hit
+		0.9, 0.01, 0.05, 0.03, // argmax 0, runner-up 2: label 1 misses both
+		0.2, 0.3, 0.4, 0.1, // argmax 2, runner-up 1: top-2 hit only
+	}
+	labels := []int{1, 1, 1}
+	top1, top2 := TopK(logits, 3, 4, 2, labels)
+	if top1 != 1 {
+		t.Fatalf("top1 = %d, want 1", top1)
+	}
+	if top2 != 2 { // rows 0 and 2 contain label 1 in top-2
+		t.Fatalf("top2 = %d, want 2", top2)
+	}
+}
+
+func TestTopKAllCorrect(t *testing.T) {
+	logits := []float32{1, 0, 0, 1}
+	top1, top1b := TopK(logits, 2, 2, 1, []int{0, 1})
+	if top1 != 2 || top1b != 2 {
+		t.Fatalf("TopK = %d,%d, want 2,2", top1, top1b)
+	}
+}
+
+func TestEMA(t *testing.T) {
+	e := &EMA{Decay: 0.5}
+	if e.Value() != 0 {
+		t.Fatal("initial EMA must be 0")
+	}
+	if got := e.Update(10); got != 10 {
+		t.Fatalf("first update = %v, want 10 (seeded)", got)
+	}
+	if got := e.Update(0); got != 5 {
+		t.Fatalf("second update = %v, want 5", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Table 1: test", "Model", "Cores", "Value")
+	tab.AddRow("b2", 128, 57.57)
+	tab.AddRow("b5", 1024, 9.7600)
+	out := tab.String()
+	if !strings.Contains(out, "Table 1: test") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "57.57") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+	if strings.Contains(out, "9.7600") {
+		t.Fatalf("trailing zeros not trimmed:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow(1, 2.5)
+	csv := tab.CSV()
+	want := "a,b\n1,2.5\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+	if len(tab.Rows()) != 1 {
+		t.Fatal("Rows() wrong")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.0:    "1",
+		0.801:  "0.801",
+		2.8100: "2.81",
+		0.0:    "0",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

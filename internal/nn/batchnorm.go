@@ -1,0 +1,222 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"effnetscale/internal/autograd"
+	"effnetscale/internal/tensor"
+)
+
+// StatsReducer sums per-channel statistics across a batch-normalization
+// replica group. This is the seam through which the paper's §3.4 distributed
+// batch normalization plugs in: the replica engine installs a reducer that
+// all-reduces the vectors over the replicas in the same BN group, so the
+// effective normalization batch is (per-replica batch) × (group size).
+type StatsReducer interface {
+	// ReduceStats sums count and each vector element-wise across the group,
+	// in place, returning the summed count. A local (non-distributed)
+	// implementation returns its inputs unchanged.
+	ReduceStats(count float64, vecs ...[]float64) float64
+}
+
+// LocalStats is the identity reducer: batch-norm statistics are computed
+// over the local replica batch only (the non-distributed baseline).
+type LocalStats struct{}
+
+// ReduceStats returns count and leaves vecs untouched.
+func (LocalStats) ReduceStats(count float64, _ ...[]float64) float64 { return count }
+
+// BatchNorm normalizes NCHW activations per channel. During training it uses
+// (possibly group-reduced) batch statistics and maintains exponential moving
+// averages for inference.
+type BatchNorm struct {
+	Gamma, Beta *Param
+	// RunningMean and RunningVar are the inference-time moving statistics.
+	RunningMean, RunningVar *tensor.Tensor
+	// Momentum is the EMA decay (TF EfficientNet uses 0.99).
+	Momentum float64
+	// Eps stabilizes the variance denominator.
+	Eps float64
+	// Reducer aggregates statistics across the BN replica group. Defaults
+	// to LocalStats; the distributed engine replaces it per §3.4.
+	Reducer StatsReducer
+
+	c int
+}
+
+// NewBatchNorm creates a batch-norm layer for c channels with gamma=1,
+// beta=0, and TF-style defaults (momentum 0.99, eps 1e-3).
+func NewBatchNorm(name string, c int) *BatchNorm {
+	return &BatchNorm{
+		Gamma:       &Param{Name: name + ".gamma", Value: autograd.Leaf(tensor.Ones(c), true), NoAdapt: true},
+		Beta:        &Param{Name: name + ".beta", Value: autograd.Leaf(tensor.New(c), true), NoAdapt: true},
+		RunningMean: tensor.New(c),
+		RunningVar:  tensor.Ones(c),
+		Momentum:    0.99,
+		Eps:         1e-3,
+		Reducer:     LocalStats{},
+		c:           c,
+	}
+}
+
+// Params returns gamma and beta.
+func (l *BatchNorm) Params() []*Param { return []*Param{l.Gamma, l.Beta} }
+
+// Forward normalizes x. In training mode, per-channel mean and variance are
+// computed over the local batch and reduced across the BN group via Reducer;
+// in eval mode the running statistics are used.
+func (l *BatchNorm) Forward(ctx *Ctx, x *autograd.Value) *autograd.Value {
+	n, c, h, w := x.T.Dim4()
+	if c != l.c {
+		panic(fmt.Sprintf("nn: BatchNorm built for %d channels, got %d", l.c, c))
+	}
+	if !ctx.Training {
+		return l.evalForward(x, n, c, h, w)
+	}
+
+	hw := h * w
+	xd := x.T.Data()
+	sum := make([]float64, c)
+	sqsum := make([]float64, c)
+	for nc := 0; nc < n*c; nc++ {
+		ch := nc % c
+		base := nc * hw
+		var s, sq float64
+		for i := 0; i < hw; i++ {
+			v := float64(xd[base+i])
+			s += v
+			sq += v * v
+		}
+		sum[ch] += s
+		sqsum[ch] += sq
+	}
+	m := l.Reducer.ReduceStats(float64(n*hw), sum, sqsum)
+
+	mean := make([]float64, c)
+	invstd := make([]float64, c)
+	variance := make([]float64, c)
+	for ch := 0; ch < c; ch++ {
+		mean[ch] = sum[ch] / m
+		v := sqsum[ch]/m - mean[ch]*mean[ch]
+		if v < 0 {
+			v = 0 // guard against catastrophic cancellation
+		}
+		variance[ch] = v
+		invstd[ch] = 1 / math.Sqrt(v+l.Eps)
+	}
+
+	// Update running statistics (side effect; not part of the tape).
+	for ch := 0; ch < c; ch++ {
+		l.RunningMean.Data()[ch] = float32(l.Momentum*float64(l.RunningMean.Data()[ch]) + (1-l.Momentum)*mean[ch])
+		l.RunningVar.Data()[ch] = float32(l.Momentum*float64(l.RunningVar.Data()[ch]) + (1-l.Momentum)*variance[ch])
+	}
+
+	// Normalize and cache xhat for backward.
+	xhat := tensor.New(x.T.Shape()...)
+	out := tensor.New(x.T.Shape()...)
+	gd := l.Gamma.Value.T.Data()
+	bd := l.Beta.Value.T.Data()
+	for nc := 0; nc < n*c; nc++ {
+		ch := nc % c
+		mu, is := float32(mean[ch]), float32(invstd[ch])
+		g, b := gd[ch], bd[ch]
+		base := nc * hw
+		for i := 0; i < hw; i++ {
+			xh := (xd[base+i] - mu) * is
+			xhat.Data()[base+i] = xh
+			out.Data()[base+i] = g*xh + b
+		}
+	}
+
+	gamma, beta := l.Gamma.Value, l.Beta.Value
+	reducer := l.Reducer
+	return autograd.NewOp("batchnorm", out, []*autograd.Value{x, gamma, beta}, func(dy *tensor.Tensor) {
+		dyd := dy.Data()
+		// Local per-channel sums of dy and dy*xhat.
+		s1 := make([]float64, c)
+		s2 := make([]float64, c)
+		dgamma := tensor.New(c)
+		dbeta := tensor.New(c)
+		for nc := 0; nc < n*c; nc++ {
+			ch := nc % c
+			base := nc * hw
+			var a, b float64
+			for i := 0; i < hw; i++ {
+				g := float64(dyd[base+i])
+				a += g
+				b += g * float64(xhat.Data()[base+i])
+			}
+			s1[ch] += a
+			s2[ch] += b
+		}
+		// dgamma/dbeta are local sums: the global gradient all-reduce
+		// across replicas completes them.
+		for ch := 0; ch < c; ch++ {
+			dgamma.Data()[ch] = float32(s2[ch])
+			dbeta.Data()[ch] = float32(s1[ch])
+		}
+		gamma.Accumulate(dgamma)
+		beta.Accumulate(dbeta)
+
+		if x.RequiresGrad() {
+			// The dx correction terms need *group* means of dy and
+			// dy*xhat — a second reduction per §3.4's communication cost.
+			reducer.ReduceStats(float64(n*hw), s1, s2)
+			dx := tensor.New(x.T.Shape()...)
+			for nc := 0; nc < n*c; nc++ {
+				ch := nc % c
+				k := gd[ch] * float32(invstd[ch])
+				m1 := float32(s1[ch] / m)
+				m2 := float32(s2[ch] / m)
+				base := nc * hw
+				for i := 0; i < hw; i++ {
+					dx.Data()[base+i] = k * (dyd[base+i] - m1 - xhat.Data()[base+i]*m2)
+				}
+			}
+			x.Accumulate(dx)
+		}
+	})
+}
+
+func (l *BatchNorm) evalForward(x *autograd.Value, n, c, h, w int) *autograd.Value {
+	hw := h * w
+	out := tensor.New(x.T.Shape()...)
+	xd := x.T.Data()
+	gd := l.Gamma.Value.T.Data()
+	bd := l.Beta.Value.T.Data()
+	for nc := 0; nc < n*c; nc++ {
+		ch := nc % c
+		is := float32(1 / math.Sqrt(float64(l.RunningVar.Data()[ch])+l.Eps))
+		mu := l.RunningMean.Data()[ch]
+		g, b := gd[ch], bd[ch]
+		base := nc * hw
+		for i := 0; i < hw; i++ {
+			out.Data()[base+i] = g*(xd[base+i]-mu)*is + b
+		}
+	}
+	gamma, beta := l.Gamma.Value, l.Beta.Value
+	// Inference backward (rarely needed, but keeps eval-mode fine-tuning
+	// possible): y = gamma*(x-mu)*is + b with constant statistics.
+	return autograd.NewOp("batchnorm_eval", out, []*autograd.Value{x, gamma, beta}, func(dy *tensor.Tensor) {
+		dyd := dy.Data()
+		dgamma := tensor.New(c)
+		dbeta := tensor.New(c)
+		dx := tensor.New(x.T.Shape()...)
+		for nc := 0; nc < n*c; nc++ {
+			ch := nc % c
+			is := float32(1 / math.Sqrt(float64(l.RunningVar.Data()[ch])+l.Eps))
+			mu := l.RunningMean.Data()[ch]
+			base := nc * hw
+			for i := 0; i < hw; i++ {
+				xh := (xd[base+i] - mu) * is
+				dgamma.Data()[ch] += dyd[base+i] * xh
+				dbeta.Data()[ch] += dyd[base+i]
+				dx.Data()[base+i] = dyd[base+i] * gd[ch] * is
+			}
+		}
+		gamma.Accumulate(dgamma)
+		beta.Accumulate(dbeta)
+		x.Accumulate(dx)
+	})
+}

@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"effnetscale/internal/autograd"
+	"effnetscale/internal/tensor"
+)
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestBatchNormChannelMismatchPanics(t *testing.T) {
+	bn := NewBatchNorm("bn", 4)
+	x := autograd.Constant(tensor.Ones(1, 3, 2, 2)) // 3 channels, BN wants 4
+	mustPanic(t, "bn channel mismatch", func() {
+		bn.Forward(&Ctx{Training: true}, x)
+	})
+}
+
+func TestSqueezeExciteChannelMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	se := NewSqueezeExcite(rng, "se", 4, 2)
+	x := autograd.Constant(tensor.Ones(1, 8, 2, 2))
+	mustPanic(t, "se channel mismatch", func() {
+		se.Forward(&Ctx{}, x)
+	})
+}
+
+func TestDropoutWithoutRNGPanics(t *testing.T) {
+	d := &Dropout{Rate: 0.5}
+	x := autograd.Constant(tensor.Ones(1, 1, 2, 2))
+	mustPanic(t, "dropout nil rng", func() {
+		d.Forward(&Ctx{Training: true}, x)
+	})
+}
+
+func TestDropPathWithoutRNGPanics(t *testing.T) {
+	dp := &DropPath{Rate: 0.5}
+	x := autograd.Constant(tensor.Ones(2, 1, 2, 2))
+	mustPanic(t, "droppath nil rng", func() {
+		dp.Forward(&Ctx{Training: true}, x)
+	})
+}
+
+func TestZeroRateRegularizersAreIdentityEvenWhileTraining(t *testing.T) {
+	x := autograd.Constant(tensor.Ones(2, 1, 2, 2))
+	ctx := &Ctx{Training: true} // no RNG on purpose: rate 0 must not need it
+	if y := (&Dropout{Rate: 0}).Forward(ctx, x); y != x {
+		t.Fatal("zero-rate dropout must be identity")
+	}
+	if y := (&DropPath{Rate: 0}).Forward(ctx, x); y != x {
+		t.Fatal("zero-rate droppath must be identity")
+	}
+}
+
+func TestBatchNormVarianceGuard(t *testing.T) {
+	// Constant input: variance is exactly 0; normalization must not
+	// produce NaN thanks to eps and the negative-variance clamp.
+	bn := NewBatchNorm("bn", 1)
+	x := autograd.Constant(tensor.Full(5, 2, 1, 3, 3))
+	y := bn.Forward(&Ctx{Training: true}, x)
+	for i, v := range y.T.Data() {
+		if v != v { // NaN check
+			t.Fatalf("BN produced NaN at %d for constant input", i)
+		}
+	}
+}
+
+func TestEvalModeBatchNormBackward(t *testing.T) {
+	// Fine-tuning through frozen BN statistics must produce gradients.
+	bn := NewBatchNorm("bn", 2)
+	bn.RunningMean.Data()[0] = 1
+	bn.RunningVar.Data()[1] = 4
+	rng := rand.New(rand.NewSource(2))
+	xT := tensor.Randn(rng, 1, 2, 2, 3, 3)
+	x := autograd.Leaf(xT, true)
+	y := bn.Forward(&Ctx{Training: false}, x)
+	autograd.Mean(y).Backward()
+	if x.Grad == nil {
+		t.Fatal("eval-mode BN blocked input gradient")
+	}
+	if bn.Gamma.Grad() == nil || bn.Beta.Grad() == nil {
+		t.Fatal("eval-mode BN blocked parameter gradients")
+	}
+}

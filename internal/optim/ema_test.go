@@ -1,0 +1,74 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"effnetscale/internal/autograd"
+	"effnetscale/internal/nn"
+	"effnetscale/internal/tensor"
+)
+
+func emaParam(vals ...float32) *nn.Param {
+	return &nn.Param{Name: "w", Value: autograd.Leaf(tensor.FromSlice(vals, len(vals)), true)}
+}
+
+func TestWeightEMATracksAverage(t *testing.T) {
+	p := emaParam(0)
+	e := NewWeightEMA(0.5)
+	params := []*nn.Param{p}
+
+	e.Update(params) // shadow seeded at 0
+	p.Data().Data()[0] = 10
+	e.Update(params)
+	// Warmup decay at step 2: min(0.5, 3/12)=0.25 → shadow = 0.25*0 + 0.75*10 = 7.5
+	e.Swap(params)
+	if got := p.Data().Data()[0]; math.Abs(float64(got-7.5)) > 1e-6 {
+		t.Fatalf("shadow after swap = %v, want 7.5", got)
+	}
+	// Swap back restores live weights.
+	e.Swap(params)
+	if got := p.Data().Data()[0]; got != 10 {
+		t.Fatalf("live weight after double swap = %v, want 10", got)
+	}
+	if e.Steps() != 2 {
+		t.Fatalf("Steps = %d, want 2", e.Steps())
+	}
+}
+
+func TestWeightEMAWarmupCap(t *testing.T) {
+	// With a huge decay, early updates must still move (warmup cap).
+	p := emaParam(0)
+	e := NewWeightEMA(0.9999)
+	e.Update([]*nn.Param{p})
+	p.Data().Data()[0] = 100
+	e.Update([]*nn.Param{p})
+	e.Swap([]*nn.Param{p})
+	if p.Data().Data()[0] < 50 {
+		t.Fatalf("warmup-capped EMA too sluggish: %v", p.Data().Data()[0])
+	}
+}
+
+func TestWeightEMACopyTo(t *testing.T) {
+	src := emaParam(4)
+	dst := emaParam(0)
+	e := NewWeightEMA(0.5)
+	e.Update([]*nn.Param{src})
+	e.CopyTo([]*nn.Param{src}, []*nn.Param{dst})
+	if dst.Data().Data()[0] != 4 {
+		t.Fatalf("CopyTo wrote %v, want 4", dst.Data().Data()[0])
+	}
+}
+
+func TestWeightEMAConvergesToConstant(t *testing.T) {
+	// If weights stop moving, the shadow must converge to them.
+	p := emaParam(3)
+	e := NewWeightEMA(0.9)
+	for i := 0; i < 200; i++ {
+		e.Update([]*nn.Param{p})
+	}
+	e.Swap([]*nn.Param{p})
+	if math.Abs(float64(p.Data().Data()[0]-3)) > 1e-4 {
+		t.Fatalf("EMA did not converge to constant weights: %v", p.Data().Data()[0])
+	}
+}

@@ -1,0 +1,149 @@
+// Package parallel provides small, allocation-conscious helpers for
+// data-parallel loops on the host CPU. Every compute kernel in the tensor
+// engine funnels through this package so that parallelism policy (grain
+// size, worker count) lives in one place.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers bounds concurrency for all helpers in this package. It defaults
+// to GOMAXPROCS and may be lowered in tests via SetMaxWorkers.
+var maxWorkers atomic.Int64
+
+func init() {
+	maxWorkers.Store(int64(runtime.GOMAXPROCS(0)))
+}
+
+// SetMaxWorkers overrides the worker bound. n < 1 resets to GOMAXPROCS.
+// It returns the previous value so callers can restore it.
+func SetMaxWorkers(n int) int {
+	prev := int(maxWorkers.Load())
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxWorkers.Store(int64(n))
+	return prev
+}
+
+// MaxWorkers reports the current worker bound.
+func MaxWorkers() int { return int(maxWorkers.Load()) }
+
+// minGrain is the smallest amount of per-worker iteration count worth the
+// cost of spawning a goroutine. Loops smaller than this run serially.
+const minGrain = 256
+
+// For runs body(i) for every i in [0, n), potentially in parallel. Iterations
+// must be independent. Small loops run inline on the calling goroutine.
+func For(n int, body func(i int)) {
+	ForChunked(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunked divides [0, n) into contiguous chunks and invokes body(lo, hi)
+// for each chunk, potentially in parallel. grain is the approximate minimum
+// chunk size (values < 1 are treated as 1). Chunks never overlap and cover
+// [0, n) exactly.
+func ForChunked(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	workers := MaxWorkers()
+	if workers > n {
+		workers = n
+	}
+	// Serial fast path: tiny loops or a single worker.
+	if workers <= 1 || n*grain <= minGrain {
+		body(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	if chunk < grain {
+		chunk = grain
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Do runs the given functions concurrently and waits for all of them.
+func Do(fns ...func()) {
+	if len(fns) == 1 {
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	wg.Wait()
+}
+
+// ReduceFloat64 computes the sum of body(i) over i in [0, n) with
+// deterministic per-chunk partial sums combined in index order, so results
+// are reproducible for a fixed worker bound.
+func ReduceFloat64(n int, body func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	workers := MaxWorkers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= minGrain {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += body(i)
+		}
+		return s
+	}
+	chunk := (n + workers - 1) / workers
+	nchunks := (n + chunk - 1) / chunk
+	partial := make([]float64, nchunks)
+	var wg sync.WaitGroup
+	for c := 0; c < nchunks; c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += body(i)
+			}
+			partial[c] = s
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	var s float64
+	for _, p := range partial {
+		s += p
+	}
+	return s
+}

@@ -1,0 +1,96 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 255, 256, 1000, 4096} {
+		seen := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForChunkedExactPartition(t *testing.T) {
+	f := func(n uint16, grain uint8) bool {
+		nn := int(n) % 5000
+		var total int64
+		ForChunked(nn, int(grain), func(lo, hi int) {
+			if lo < 0 || hi > nn || lo > hi {
+				t.Fatalf("bad chunk [%d,%d) for n=%d", lo, hi, nn)
+			}
+			atomic.AddInt64(&total, int64(hi-lo))
+		})
+		return total == int64(nn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceFloat64MatchesSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 257, 10000} {
+		got := ReduceFloat64(n, func(i int) float64 { return float64(i) })
+		want := float64(n) * float64(n-1) / 2
+		if n == 0 {
+			want = 0
+		}
+		if got != want {
+			t.Fatalf("ReduceFloat64(n=%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestReduceDeterministic(t *testing.T) {
+	// Floating-point reduction must be reproducible run-to-run because
+	// partials are combined in chunk-index order.
+	body := func(i int) float64 { return 1.0 / float64(i+1) }
+	a := ReduceFloat64(100000, body)
+	for k := 0; k < 5; k++ {
+		if b := ReduceFloat64(100000, body); b != a {
+			t.Fatalf("nondeterministic reduction: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSetMaxWorkers(t *testing.T) {
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	if MaxWorkers() != 1 {
+		t.Fatal("SetMaxWorkers(1) not applied")
+	}
+	var ran int
+	For(1000, func(i int) { ran++ }) // safe: single worker means serial
+	if ran != 1000 {
+		t.Fatalf("serial run visited %d of 1000", ran)
+	}
+	if got := SetMaxWorkers(0); got != 1 {
+		t.Fatalf("SetMaxWorkers returned %d, want previous value 1", got)
+	}
+	if MaxWorkers() < 1 {
+		t.Fatal("reset worker count must be >= 1")
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var a, b, c atomic.Int32
+	Do(
+		func() { a.Store(1) },
+		func() { b.Store(2) },
+		func() { c.Store(3) },
+	)
+	if a.Load() != 1 || b.Load() != 2 || c.Load() != 3 {
+		t.Fatal("Do did not run all functions")
+	}
+	Do(func() { a.Store(10) }) // single-function fast path
+	if a.Load() != 10 {
+		t.Fatal("Do single-function path failed")
+	}
+}

@@ -1,0 +1,137 @@
+package podsim
+
+import (
+	"fmt"
+
+	"effnetscale/internal/comm"
+	"effnetscale/internal/topology"
+	"effnetscale/internal/xla"
+)
+
+// The paper's §5 names model parallelism as future work: "model parallelism
+// ... would supplement the current data parallelism to allow training on
+// large numbers of chips without standard global batch sizes." This file
+// implements that study analytically: a hybrid (D data shards × M model
+// shards) decomposition where each model-shard group splits every layer's
+// channels M ways, trading extra activation communication for an M× smaller
+// minimum global batch.
+
+// HybridStep extends StepBreakdown with the model-parallel exchange term.
+type HybridStep struct {
+	StepBreakdown
+	// ModelShards is M in the D×M decomposition (1 = pure data parallel).
+	ModelShards int
+	// DataShards is D = cores / M.
+	DataShards int
+	// ActExchangeSeconds is the per-step activation (forward) + activation-
+	// gradient (backward) exchange within each model-shard group.
+	ActExchangeSeconds float64
+}
+
+// StepSeconds includes the activation-exchange term.
+func (h HybridStep) StepSeconds() float64 {
+	return h.StepBreakdown.StepSeconds() + h.ActExchangeSeconds
+}
+
+// ThroughputImgPerMs recomputes throughput with the exchange term included.
+func (h HybridStep) ThroughputImgPerMs() float64 {
+	return float64(h.GlobalBatch) / h.StepSeconds() / 1000
+}
+
+// HybridModelStep models one training step of a D×M hybrid decomposition on
+// a slice. globalBatch is split across the D data shards only; each data
+// shard's work is further split M ways across its model-shard group.
+func HybridModelStep(model string, cores, globalBatch, modelShards int) (HybridStep, error) {
+	if modelShards < 1 {
+		return HybridStep{}, fmt.Errorf("podsim: model shards %d must be >= 1", modelShards)
+	}
+	if cores%modelShards != 0 {
+		return HybridStep{}, fmt.Errorf("podsim: model shards %d do not divide %d cores", modelShards, cores)
+	}
+	perf, err := PerfFor(model)
+	if err != nil {
+		return HybridStep{}, err
+	}
+	slice, err := topology.SliceForCores(cores)
+	if err != nil {
+		return HybridStep{}, err
+	}
+	dataShards := cores / modelShards
+	perData, err := xla.SplitBatch(globalBatch, dataShards)
+	if err != nil {
+		return HybridStep{}, err
+	}
+	// Each core executes the padded per-data-shard batch over 1/M of the
+	// channels. Channel splitting fragments the matrix units, modelled as a
+	// mild efficiency loss per halving.
+	padded := xla.PadBatch(perData)
+	shardEff := 1.0
+	for m := modelShards; m > 1; m >>= 1 {
+		shardEff *= 0.92
+	}
+	h := HybridStep{
+		StepBreakdown: StepBreakdown{
+			Model:        model,
+			Cores:        cores,
+			GlobalBatch:  globalBatch,
+			PerCoreBatch: perData, // per data shard; each core sees all of it
+		},
+		ModelShards: modelShards,
+		DataShards:  dataShards,
+	}
+	h.ComputeSeconds = float64(padded) * perf.Stats.TrainFLOPsPerImg() /
+		float64(modelShards) / (PeakMACsPerCore * perf.Util * shardEff)
+
+	// Gradient all-reduce: each core holds 1/M of the parameters, reduced
+	// across the D data shards.
+	gradBytes := perf.Stats.GradBytes / modelShards
+	h.AllReduceSeconds = comm.Torus2DAllReduceSeconds(gradBytes, slice, comm.TPUv3Links)
+
+	// Activation exchange within the model-shard group: forward activations
+	// and backward activation gradients at every layer boundary, each core
+	// contributing its 1/M channel slice (ring all-gather per boundary,
+	// aggregated here as one payload).
+	if modelShards > 1 {
+		actBytes := int(float64(padded) * perf.Stats.ActElemsPerImg * 2 / float64(modelShards) * 2)
+		h.ActExchangeSeconds = comm.RingAllReduceSeconds(actBytes, modelShards, comm.TPUv3Links)
+	}
+	return h, nil
+}
+
+// MinGlobalBatch returns the smallest padding-free global batch for a D×M
+// decomposition on the given cores — the §5 motivation: M model shards cut
+// the XLA-imposed minimum by M.
+func MinGlobalBatch(cores, modelShards int) int {
+	return xla.MinEfficientGlobalBatch(cores) / modelShards
+}
+
+// HybridSweepRow is one configuration of the future-work study.
+type HybridSweepRow struct {
+	ModelShards        int
+	DataShards         int
+	GlobalBatch        int
+	ThroughputImgPerMs float64
+	ActExchangePct     float64
+}
+
+// HybridSweep evaluates M ∈ {1,2,4,8} on a full 2048-core pod at each M's
+// minimum padding-free batch, quantifying the §5 trade-off: smaller feasible
+// batches versus activation-exchange overhead.
+func HybridSweep(model string, cores int) ([]HybridSweepRow, error) {
+	var rows []HybridSweepRow
+	for _, m := range []int{1, 2, 4, 8} {
+		batch := MinGlobalBatch(cores, m)
+		h, err := HybridModelStep(model, cores, batch, m)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, HybridSweepRow{
+			ModelShards:        m,
+			DataShards:         h.DataShards,
+			GlobalBatch:        batch,
+			ThroughputImgPerMs: h.ThroughputImgPerMs(),
+			ActExchangePct:     100 * h.ActExchangeSeconds / h.StepSeconds(),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,73 @@
+package podsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHybridDegeneratesToDataParallel(t *testing.T) {
+	// M=1 must reproduce the pure data-parallel step exactly.
+	dp, err := ModelStep("b2", 1024, 32768, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := HybridModelStep("b2", 1024, 32768, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ActExchangeSeconds != 0 {
+		t.Fatal("M=1 must have no activation exchange")
+	}
+	if math.Abs(h.StepSeconds()-dp.StepSeconds()) > 1e-12 {
+		t.Fatalf("M=1 step %v != data-parallel step %v", h.StepSeconds(), dp.StepSeconds())
+	}
+}
+
+func TestHybridShrinksMinimumBatch(t *testing.T) {
+	// §2: full pod needs batch 16384 with pure data parallelism; §5's
+	// motivation is that M model shards divide that by M.
+	if MinGlobalBatch(2048, 1) != 16384 {
+		t.Fatalf("MinGlobalBatch(2048,1) = %d", MinGlobalBatch(2048, 1))
+	}
+	if MinGlobalBatch(2048, 4) != 4096 {
+		t.Fatalf("MinGlobalBatch(2048,4) = %d", MinGlobalBatch(2048, 4))
+	}
+}
+
+func TestHybridTradeoff(t *testing.T) {
+	rows, err := HybridSweep("b5", 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("sweep has %d rows", len(rows))
+	}
+	// Batch shrinks with M; activation-exchange share grows with M.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].GlobalBatch >= rows[i-1].GlobalBatch {
+			t.Errorf("M=%d batch %d not smaller than M=%d's %d",
+				rows[i].ModelShards, rows[i].GlobalBatch, rows[i-1].ModelShards, rows[i-1].GlobalBatch)
+		}
+		if rows[i].ActExchangePct <= rows[i-1].ActExchangePct {
+			t.Errorf("activation-exchange share must grow with M: M=%d %.2f%% vs M=%d %.2f%%",
+				rows[i].ModelShards, rows[i].ActExchangePct, rows[i-1].ModelShards, rows[i-1].ActExchangePct)
+		}
+	}
+	// The overhead must be material but not absurd.
+	last := rows[len(rows)-1]
+	if last.ActExchangePct <= 0 || last.ActExchangePct >= 95 {
+		t.Fatalf("M=8 exchange share %.2f%% implausible", last.ActExchangePct)
+	}
+}
+
+func TestHybridValidation(t *testing.T) {
+	if _, err := HybridModelStep("b2", 1024, 32768, 3); err == nil {
+		t.Error("non-dividing model shards must error")
+	}
+	if _, err := HybridModelStep("b2", 1024, 32768, 0); err == nil {
+		t.Error("zero model shards must error")
+	}
+	if _, err := HybridModelStep("nope", 1024, 32768, 2); err == nil {
+		t.Error("unknown model must error")
+	}
+}

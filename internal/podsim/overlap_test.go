@@ -1,0 +1,43 @@
+package podsim
+
+import "testing"
+
+func TestOverlapHidesMostOfAllReduce(t *testing.T) {
+	o, err := ModelStepOverlapped("b2", 1024, 32768, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B2's all-reduce is ~2.5% of the step while backward is ~60%: nearly
+	// all of it (90%, the non-tail share) must be hideable.
+	if o.OverlapFraction < 0.85 || o.OverlapFraction > 0.90001 {
+		t.Fatalf("overlap fraction = %v, want ≈0.9", o.OverlapFraction)
+	}
+	if o.OverlappedStepSeconds >= o.StepBreakdown.StepSeconds() {
+		t.Fatal("overlap must shrink the step")
+	}
+	// Speedup is bounded by the all-reduce share itself.
+	if s := o.SpeedupPct(); s <= 0 || s > o.AllReducePct() {
+		t.Fatalf("speedup %v%% outside (0, %v%%]", s, o.AllReducePct())
+	}
+}
+
+func TestOverlapValidation(t *testing.T) {
+	if _, err := ModelStepOverlapped("bogus", 1024, 32768, 0); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestOverlapDirectionAcrossModels(t *testing.T) {
+	// B2 (more comm-bound) gains more from overlap than B5.
+	b2, err := ModelStepOverlapped("b2", 1024, 32768, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b5, err := ModelStepOverlapped("b5", 1024, 32768, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.SpeedupPct() <= b5.SpeedupPct() {
+		t.Fatalf("B2 overlap speedup (%v%%) must exceed B5's (%v%%)", b2.SpeedupPct(), b5.SpeedupPct())
+	}
+}

@@ -1,0 +1,154 @@
+package podsim
+
+import (
+	"fmt"
+
+	"effnetscale/internal/comm"
+	"effnetscale/internal/topology"
+	"effnetscale/internal/xla"
+)
+
+// StepBreakdown decomposes one modelled training step.
+type StepBreakdown struct {
+	Model        string
+	Cores        int
+	GlobalBatch  int
+	PerCoreBatch int
+	// ComputeSeconds is forward+backward math on the padded per-core batch.
+	ComputeSeconds float64
+	// AllReduceSeconds is the fp32 gradient all-reduce on the 2-D torus.
+	AllReduceSeconds float64
+	// BNSeconds is the per-step distributed batch-norm statistics traffic
+	// (forward mean/var + backward correction sums) for the group size.
+	BNSeconds float64
+	// BNGroupSize used for the BN cost term.
+	BNGroupSize int
+}
+
+// StepSeconds is the total modelled step time.
+func (b StepBreakdown) StepSeconds() float64 {
+	return b.ComputeSeconds + b.AllReduceSeconds + b.BNSeconds
+}
+
+// ThroughputImgPerMs is the Table 1 throughput metric.
+func (b StepBreakdown) ThroughputImgPerMs() float64 {
+	return float64(b.GlobalBatch) / b.StepSeconds() / 1000
+}
+
+// AllReducePct is Table 1's "Percent of time spent on All-Reduce".
+func (b StepBreakdown) AllReducePct() float64 {
+	return 100 * b.AllReduceSeconds / b.StepSeconds()
+}
+
+func mustSlice(cores int) topology.Slice {
+	s, err := topology.SliceForCores(cores)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ModelStep produces the step-time breakdown for a model on a slice with a
+// global batch and BN group size (bnGroup ≤ 1 means local batch norm).
+func ModelStep(model string, cores, globalBatch, bnGroup int) (StepBreakdown, error) {
+	perf, err := PerfFor(model)
+	if err != nil {
+		return StepBreakdown{}, err
+	}
+	slice, err := topology.SliceForCores(cores)
+	if err != nil {
+		return StepBreakdown{}, err
+	}
+	perCore, err := xla.SplitBatch(globalBatch, cores)
+	if err != nil {
+		return StepBreakdown{}, err
+	}
+	padded := xla.PadBatch(perCore)
+	b := StepBreakdown{
+		Model:        model,
+		Cores:        cores,
+		GlobalBatch:  globalBatch,
+		PerCoreBatch: perCore,
+		BNGroupSize:  bnGroup,
+	}
+	b.ComputeSeconds = float64(padded) * perf.Stats.TrainFLOPsPerImg() / (PeakMACsPerCore * perf.Util)
+	b.AllReduceSeconds = comm.Torus2DAllReduceSeconds(perf.Stats.GradBytes, slice, comm.TPUv3Links)
+	if bnGroup > 1 {
+		groups, gerr := topology.BNGroups(cores, bnGroup, slice)
+		if gerr != nil {
+			return StepBreakdown{}, gerr
+		}
+		diameter := topology.GroupDiameter(groups[0], slice)
+		// Two stats reductions per step (forward mean/var, backward
+		// correction sums), each carrying two float64 vectors over all BN
+		// channels.
+		statsBytes := 2 * perf.Stats.BNChannels * 8
+		b.BNSeconds = 2 * comm.GroupAllReduceSeconds(statsBytes, bnGroup, diameter, comm.TPUv3Links)
+	}
+	return b, nil
+}
+
+// EvalSeconds models one distributed evaluation pass over the validation
+// split: forward-only compute (1/3 of training FLOPs) sharded over all cores.
+func EvalSeconds(model string, cores, valSize, perCoreBatch int) (float64, error) {
+	perf, err := PerfFor(model)
+	if err != nil {
+		return 0, err
+	}
+	imgsPerCore := (valSize + cores - 1) / cores
+	padded := xla.PadBatch(perCoreBatch)
+	steps := (imgsPerCore + perCoreBatch - 1) / perCoreBatch
+	perImg := perf.Stats.FLOPsPerImg / (PeakMACsPerCore * perf.Util)
+	return float64(steps*padded) * perImg, nil
+}
+
+// Table1Row matches one row of the paper's Table 1.
+type Table1Row struct {
+	Model              string
+	Cores              int
+	GlobalBatch        int
+	ThroughputImgPerMs float64
+	AllReducePct       float64
+}
+
+// Table1Configs lists the paper's Table 1 configurations in order.
+func Table1Configs() []struct {
+	Model string
+	Cores int
+	Batch int
+} {
+	var out []struct {
+		Model string
+		Cores int
+		Batch int
+	}
+	for _, model := range []string{"b2", "b5"} {
+		for _, cores := range []int{128, 256, 512, 1024} {
+			out = append(out, struct {
+				Model string
+				Cores int
+				Batch int
+			}{model, cores, cores * 32})
+		}
+	}
+	return out
+}
+
+// Table1 reproduces the paper's Table 1 from the step-time model.
+func Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, c := range Table1Configs() {
+		b, err := ModelStep(c.Model, c.Cores, c.Batch, 0)
+		if err != nil {
+			return nil, fmt.Errorf("podsim: table1 %s/%d: %w", c.Model, c.Cores, err)
+		}
+		rows = append(rows, Table1Row{
+			Model:              c.Model,
+			Cores:              c.Cores,
+			GlobalBatch:        c.Batch,
+			ThroughputImgPerMs: b.ThroughputImgPerMs(),
+			AllReducePct:       b.AllReducePct(),
+		})
+	}
+	return rows, nil
+}

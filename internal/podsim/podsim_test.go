@@ -1,0 +1,262 @@
+package podsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCalibrationReproduces128CoreAnchors(t *testing.T) {
+	// The 128-core Table 1 rows are the calibration anchors: the model must
+	// reproduce them (nearly) exactly.
+	for _, model := range []string{"b2", "b5"} {
+		b, err := ModelStep(model, 128, 4096, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := anchors128[model].throughputImgPerMs
+		if rel := math.Abs(b.ThroughputImgPerMs()-want) / want; rel > 0.001 {
+			t.Errorf("%s @128: modelled %.2f img/ms, anchor %.2f", model, b.ThroughputImgPerMs(), want)
+		}
+	}
+}
+
+func TestTable1PredictionsMatchPaperShape(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(PaperTable1) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(PaperTable1))
+	}
+	for i, r := range rows {
+		p := PaperTable1[i]
+		if r.Model != p.Model || r.Cores != p.Cores || r.GlobalBatch != p.GlobalBatch {
+			t.Fatalf("row %d config mismatch: %+v vs %+v", i, r, p)
+		}
+		// Throughput within 10% of the paper at every slice size — the
+		// 256/512/1024 rows are predictions, not calibrations.
+		if rel := math.Abs(r.ThroughputImgPerMs-p.ThroughputImgPerMs) / p.ThroughputImgPerMs; rel > 0.10 {
+			t.Errorf("%s @%d: throughput %.2f vs paper %.2f (off %.1f%%)", r.Model, r.Cores, r.ThroughputImgPerMs, p.ThroughputImgPerMs, rel*100)
+		}
+		// All-reduce share small and in the paper's ballpark (within 2x,
+		// and < 5% absolute) — the column is noisy in the paper itself.
+		if r.AllReducePct <= 0 || r.AllReducePct > 5 {
+			t.Errorf("%s @%d: all-reduce %.2f%% implausible", r.Model, r.Cores, r.AllReducePct)
+		}
+		if r.AllReducePct > 2.5*p.AllReducePct || r.AllReducePct < p.AllReducePct/2.5 {
+			t.Errorf("%s @%d: all-reduce %.2f%% vs paper %.2f%%", r.Model, r.Cores, r.AllReducePct, p.AllReducePct)
+		}
+	}
+	// Scaling shape: throughput ~doubles per doubling of cores.
+	for _, base := range []int{0, 4} { // b2 rows start at 0, b5 at 4
+		for i := 1; i < 4; i++ {
+			ratio := rows[base+i].ThroughputImgPerMs / rows[base+i-1].ThroughputImgPerMs
+			if ratio < 1.85 || ratio > 2.05 {
+				t.Errorf("%s: scaling %d->%d cores gives ratio %.3f, want ≈2",
+					rows[base+i].Model, rows[base+i-1].Cores, rows[base+i].Cores, ratio)
+			}
+		}
+	}
+	// B5 spends a smaller fraction on all-reduce than B2 (more compute per
+	// parameter), as in the paper.
+	if rows[4].AllReducePct >= rows[0].AllReducePct {
+		t.Errorf("B5 all-reduce share (%.2f%%) must be below B2's (%.2f%%)", rows[4].AllReducePct, rows[0].AllReducePct)
+	}
+}
+
+func TestTable2MatchesPaperAccuracies(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(PaperTable2) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(PaperTable2))
+	}
+	for i, r := range rows {
+		if d := math.Abs(r.PeakAcc - PaperTable2[i]); d > 0.0035 {
+			t.Errorf("row %d (%s %s batch %d): modelled %.4f vs paper %.3f (|Δ| = %.4f)",
+				i, r.Model, r.Optimizer, r.GlobalBatch, r.PeakAcc, PaperTable2[i], d)
+		}
+	}
+}
+
+func TestHeadline83PercentPreserved(t *testing.T) {
+	// The paper's headline: B5, batch 65536, LARS → 83.0% top-1.
+	acc, err := PeakAccuracy(TrainConfig{
+		Model: "b5", Optimizer: "lars", GlobalBatch: 65536,
+		LRPer256: 0.081, Decay: "polynomial", WarmupEpochs: 43, Epochs: 350,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.828 || acc > 0.833 {
+		t.Fatalf("headline B5@65536 accuracy = %.4f, want ≈0.830", acc)
+	}
+}
+
+func TestRMSPropLARSCrossover(t *testing.T) {
+	// Who wins: RMSProp at ≤16384, LARS above — the paper's §3.1 story.
+	mk := func(opt string, batch int) float64 {
+		cfg := TrainConfig{Model: "b5", Optimizer: opt, GlobalBatch: batch, Epochs: 350}
+		if opt == "rmsprop" {
+			cfg.LRPer256, cfg.Decay, cfg.WarmupEpochs = 0.016, "exponential", 5
+		} else {
+			cfg.LRPer256, cfg.Decay, cfg.WarmupEpochs = tunedLRPer256("lars", batch), "polynomial", 50
+		}
+		acc, err := PeakAccuracy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return acc
+	}
+	if mk("rmsprop", 16384) <= mk("lars", 16384) {
+		t.Error("at batch 16384 RMSProp should still edge out LARS (Table 2)")
+	}
+	if mk("rmsprop", 32768) >= mk("lars", 32768) {
+		t.Error("at batch 32768 LARS must beat RMSProp (the paper's motivation)")
+	}
+	if mk("rmsprop", 65536) >= mk("lars", 65536) {
+		t.Error("at batch 65536 LARS must beat RMSProp decisively")
+	}
+}
+
+func TestScheduleAndLRPenalties(t *testing.T) {
+	good := TrainConfig{Model: "b2", Optimizer: "lars", GlobalBatch: 32768, LRPer256: 0.118, Decay: "polynomial", WarmupEpochs: 50, Epochs: 350}
+	base, _ := PeakAccuracy(good)
+
+	wrongDecay := good
+	wrongDecay.Decay = "exponential"
+	if a, _ := PeakAccuracy(wrongDecay); a >= base {
+		t.Error("exponential decay with LARS must score below polynomial (§3.2)")
+	}
+	badLR := good
+	badLR.LRPer256 = 0.118 * 8
+	if a, _ := PeakAccuracy(badLR); a >= base {
+		t.Error("8x-mistuned LR must lose accuracy")
+	}
+	shortWarmup := good
+	shortWarmup.WarmupEpochs = 2
+	if a, _ := PeakAccuracy(shortWarmup); a >= base {
+		t.Error("too-short warmup at batch 32768 must lose accuracy (§3.2)")
+	}
+}
+
+func TestFigure1HeadlinesAndMonotonicity(t *testing.T) {
+	pts, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 9 { // 4 slices × 2 models + headline 65536 point
+		t.Fatalf("Figure 1 has %d points, want 9", len(pts))
+	}
+	var b2At1024, b5At65536 *Fig1Point
+	for i := range pts {
+		p := &pts[i]
+		if p.MinutesToPeak <= 0 {
+			t.Fatalf("non-positive time for %+v", p)
+		}
+		if p.Model == "b2" && p.Cores == 1024 {
+			b2At1024 = p
+		}
+		if p.Model == "b5" && p.GlobalBatch == 65536 {
+			b5At65536 = p
+		}
+	}
+	// Headline checks, within 25% of the paper's wall-clock numbers.
+	if b2At1024 == nil || b5At65536 == nil {
+		t.Fatal("missing headline points")
+	}
+	if rel := math.Abs(b2At1024.MinutesToPeak-PaperHeadlines.B2MinutesTo797) / PaperHeadlines.B2MinutesTo797; rel > 0.25 {
+		t.Errorf("B2@1024 time = %.1f min, paper %.0f min (off %.0f%%)", b2At1024.MinutesToPeak, PaperHeadlines.B2MinutesTo797, rel*100)
+	}
+	if rel := math.Abs(b5At65536.MinutesToPeak-PaperHeadlines.B5MinutesTo830) / PaperHeadlines.B5MinutesTo830; rel > 0.25 {
+		t.Errorf("B5@65536 time = %.1f min, paper %.0f min (off %.0f%%)", b5At65536.MinutesToPeak, PaperHeadlines.B5MinutesTo830, rel*100)
+	}
+	if b2At1024.PeakAcc < 0.79 {
+		t.Errorf("B2@1024 peak %.4f, want ≈0.797", b2At1024.PeakAcc)
+	}
+	// More cores → strictly less time, per model at per-core batch 32.
+	for _, model := range []string{"b2", "b5"} {
+		var prev float64
+		for _, cores := range []int{128, 256, 512, 1024} {
+			for _, p := range pts {
+				if p.Model == model && p.Cores == cores && p.GlobalBatch == cores*32 {
+					if prev > 0 && p.MinutesToPeak >= prev {
+						t.Errorf("%s: time did not shrink from %d to %d cores", model, cores/2, cores)
+					}
+					prev = p.MinutesToPeak
+				}
+			}
+		}
+	}
+}
+
+func TestModelStepValidation(t *testing.T) {
+	if _, err := ModelStep("b2", 100, 3200, 0); err == nil {
+		t.Error("non-standard core count must error")
+	}
+	if _, err := ModelStep("b2", 128, 1000, 0); err == nil {
+		t.Error("non-dividing batch must error")
+	}
+	if _, err := ModelStep("b9", 128, 4096, 0); err == nil {
+		t.Error("unknown model must error")
+	}
+	if _, err := PeakAccuracy(TrainConfig{Model: "b0", Optimizer: "rmsprop", GlobalBatch: 4096}); err == nil {
+		t.Error("uncalibrated model must error in convergence model")
+	}
+	if _, err := PeakAccuracy(TrainConfig{Model: "b2", Optimizer: "sgd", GlobalBatch: 4096}); err == nil {
+		t.Error("uncovered optimizer must error in convergence model")
+	}
+}
+
+func TestDistributedBNCostSmallButPresent(t *testing.T) {
+	with, err := ModelStep("b2", 1024, 32768, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := ModelStep("b2", 1024, 32768, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.BNSeconds <= 0 {
+		t.Fatal("BN group cost must be positive")
+	}
+	if without.BNSeconds != 0 {
+		t.Fatal("local BN must be free")
+	}
+	// §3.4: the trade-off is real but small relative to the step.
+	if with.BNSeconds > 0.1*with.StepSeconds() {
+		t.Fatalf("BN cost %.4fs is implausibly large vs step %.4fs", with.BNSeconds, with.StepSeconds())
+	}
+}
+
+func TestBatchEfficiency(t *testing.T) {
+	if batchEfficiency(32) != 1 {
+		t.Error("batch 32 is the calibration reference: efficiency 1")
+	}
+	if e := batchEfficiency(64); e <= 1 || e > 2 {
+		t.Errorf("batch 64 efficiency = %v, want in (1, 2]", e)
+	}
+	if batchEfficiency(8) != 1 {
+		t.Error("sub-32 batches must not get a bonus")
+	}
+}
+
+func TestAccuracyTrajectoryMonotone(t *testing.T) {
+	cfg := TrainConfig{Model: "b5", Optimizer: "lars", GlobalBatch: 65536, LRPer256: 0.081, Decay: "polynomial", WarmupEpochs: 43, Epochs: 350}
+	var prev float64
+	for e := 0.0; e <= 360; e += 10 {
+		acc, err := AccuracyAtEpoch(cfg, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc < prev-1e-12 {
+			t.Fatalf("trajectory decreased at epoch %v: %v -> %v", e, prev, acc)
+		}
+		prev = acc
+	}
+	peak, _ := PeakAccuracy(cfg)
+	if math.Abs(prev-peak) > 1e-9 {
+		t.Fatalf("trajectory end %v != peak %v", prev, peak)
+	}
+}

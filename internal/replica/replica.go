@@ -1,0 +1,466 @@
+// Package replica implements the data-parallel training engine at the heart
+// of the reproduction: N replicas (goroutines standing in for TPU cores)
+// each hold a full copy of the model and a shard of every global batch, run
+// forward/backward locally, all-reduce gradients through the comm package's
+// ring collective, and apply identical optimizer updates so the replicas
+// never diverge — the same SPMD structure the paper's TPU training uses.
+//
+// Distributed batch normalization (§3.4) is wired in by giving every
+// BatchNorm layer a reducer that all-reduces its per-channel statistics
+// across the replica's BN group, so the effective normalization batch is
+// per-replica batch × group size.
+package replica
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"effnetscale/internal/bf16"
+	"effnetscale/internal/comm"
+	"effnetscale/internal/data"
+	"effnetscale/internal/efficientnet"
+	"effnetscale/internal/nn"
+	"effnetscale/internal/optim"
+	"effnetscale/internal/schedule"
+	"effnetscale/internal/tensor"
+	"effnetscale/internal/topology"
+
+	"effnetscale/internal/autograd"
+)
+
+// Config assembles a distributed training run.
+type Config struct {
+	// World is the number of replicas.
+	World int
+	// PerReplicaBatch is each replica's local batch; the global batch is
+	// World × PerReplicaBatch.
+	PerReplicaBatch int
+	// Model selects the EfficientNet variant (family name).
+	Model string
+	// Dataset provides sharded training and validation data.
+	Dataset *data.Dataset
+	// OptimizerName selects the optimizer (see optim.ByName).
+	OptimizerName string
+	// WeightDecay is the optimizer's L2 coefficient.
+	WeightDecay float64
+	// Schedule maps fractional epochs to learning rates.
+	Schedule schedule.Schedule
+	// BNGroupSize is the distributed batch-norm group size (1 = local BN).
+	// Must divide World.
+	BNGroupSize int
+	// Slice is the TPU slice used for 2-D BN group tiling; zero value means
+	// a 1×(World/2) layout is assumed.
+	Slice topology.Slice
+	// Precision is the mixed-precision policy (bf16 convolutions by
+	// default in the paper).
+	Precision bf16.Policy
+	// LabelSmoothing for the softmax cross-entropy (EfficientNet uses 0.1).
+	LabelSmoothing float32
+	// Seed drives model init and per-replica RNG streams.
+	Seed int64
+	// DropoutOverride, when >= 0, replaces the model's dropout rate; pass
+	// -1 to keep the model family default. The zero value disables dropout,
+	// which is the right default for the deterministic mini-scale runs.
+	DropoutOverride float64
+	// DropConnectOverride behaves like DropoutOverride for stochastic depth.
+	DropConnectOverride float64
+	// NoAugment disables training-time data augmentation (needed by the
+	// N-replica ≡ single-large-batch equivalence tests, where per-replica
+	// augmentation RNGs would otherwise produce different pixels).
+	NoAugment bool
+	// BNMomentum overrides the batch-norm running-statistics EMA decay
+	// when non-zero. The TF default of 0.99 assumes tens of thousands of
+	// steps; mini-scale runs of a few hundred steps should pass ~0.9 or
+	// evaluation will see stale statistics.
+	BNMomentum float64
+	// GradAccumSteps runs this many micro-batches per replica per global
+	// step, accumulating gradients locally before the all-reduce. The
+	// effective global batch becomes World × PerReplicaBatch ×
+	// GradAccumSteps without growing per-replica memory — how batch 65536
+	// fits when HBM cannot hold it at once. 0/1 disables accumulation.
+	// Batch-norm statistics remain per-micro-batch, the standard behaviour
+	// of gradient accumulation.
+	GradAccumSteps int
+	// EMADecay, when > 0, maintains an exponential moving average of the
+	// weights (the reference EfficientNet setup evaluates the EMA weights).
+	EMADecay float64
+}
+
+// StepResult aggregates one global step's metrics across all replicas.
+type StepResult struct {
+	Loss     float64 // global-batch mean loss
+	Accuracy float64 // global-batch top-1 accuracy (training batch)
+	LR       float64 // learning rate used
+	Epoch    float64 // fractional epoch at this step
+}
+
+// Engine owns the replicas and their communication worlds.
+type Engine struct {
+	cfg      Config
+	replicas []*Replica
+	world    *comm.World
+	// gradLen is the flattened gradient length (identical across replicas).
+	gradLen int
+	// stepsPerEpoch is ceil(train size / global batch).
+	stepsPerEpoch int
+	stepCount     int
+}
+
+// Replica is one data-parallel worker.
+type Replica struct {
+	Rank  int
+	Model *efficientnet.Model
+
+	peer    *comm.Peer
+	bnPeer  *comm.Peer // nil when BN is local
+	opt     optim.Optimizer
+	ema     *optim.WeightEMA // nil when EMA disabled
+	train   *data.Shard
+	val     *data.Shard
+	ctx     *nn.Ctx
+	augRNG  *rand.Rand
+	gradBuf []float32
+	batch   *tensor.Tensor
+	labels  []int
+	accum   int
+}
+
+// groupReducer adapts a comm.Peer into the nn.StatsReducer seam, all-reducing
+// batch-norm statistics across the replica's BN group.
+type groupReducer struct {
+	peer *comm.Peer
+	buf  []float64
+}
+
+// ReduceStats implements nn.StatsReducer.
+func (g *groupReducer) ReduceStats(count float64, vecs ...[]float64) float64 {
+	n := 1
+	for _, v := range vecs {
+		n += len(v)
+	}
+	if cap(g.buf) < n {
+		g.buf = make([]float64, n)
+	}
+	buf := g.buf[:0]
+	buf = append(buf, count)
+	for _, v := range vecs {
+		buf = append(buf, v...)
+	}
+	g.peer.RingAllReduceF64(buf)
+	off := 1
+	for _, v := range vecs {
+		copy(v, buf[off:off+len(v)])
+		off += len(v)
+	}
+	return buf[0]
+}
+
+// New builds the engine: one model copy per replica (identical weights),
+// communication worlds for gradients and BN groups, per-replica shards and
+// optimizer instances.
+func New(cfg Config) (*Engine, error) {
+	if cfg.World < 1 {
+		return nil, fmt.Errorf("replica: world %d must be >= 1", cfg.World)
+	}
+	if cfg.PerReplicaBatch < 1 {
+		return nil, fmt.Errorf("replica: per-replica batch %d must be >= 1", cfg.PerReplicaBatch)
+	}
+	if cfg.BNGroupSize == 0 {
+		cfg.BNGroupSize = 1
+	}
+	if cfg.GradAccumSteps < 1 {
+		cfg.GradAccumSteps = 1
+	}
+	if cfg.World%cfg.BNGroupSize != 0 {
+		return nil, fmt.Errorf("replica: BN group size %d does not divide world %d", cfg.BNGroupSize, cfg.World)
+	}
+	if cfg.Dataset == nil {
+		return nil, fmt.Errorf("replica: dataset is required")
+	}
+	modelCfg, ok := efficientnet.ConfigByName(cfg.Model, cfg.Dataset.Config().NumClasses)
+	if !ok {
+		return nil, fmt.Errorf("replica: unknown model %q", cfg.Model)
+	}
+	if cfg.DropoutOverride >= 0 {
+		modelCfg.DropoutRate = cfg.DropoutOverride
+	}
+	if cfg.DropConnectOverride >= 0 {
+		modelCfg.DropConnectRate = cfg.DropConnectOverride
+	}
+	if cfg.Dataset.Config().Resolution != modelCfg.Resolution {
+		// The dataset resolution wins: models are resolution-agnostic.
+		modelCfg.Resolution = cfg.Dataset.Config().Resolution
+	}
+
+	e := &Engine{cfg: cfg, world: comm.NewWorld(cfg.World)}
+
+	// BN groups: contiguous below 16, 2-D tiled above (§3.4).
+	var groups [][]int
+	if cfg.BNGroupSize > 1 {
+		slice := cfg.Slice
+		if slice.Rows == 0 {
+			slice = topology.Slice{Rows: 1, Cols: (cfg.World + 1) / 2}
+		}
+		var err error
+		groups, err = topology.BNGroups(cfg.World, cfg.BNGroupSize, slice)
+		if err != nil {
+			return nil, fmt.Errorf("replica: %v", err)
+		}
+	}
+	bnWorlds := make([]*comm.World, len(groups))
+	bnPeerOf := make(map[int]*comm.Peer, cfg.World)
+	for gi, g := range groups {
+		bnWorlds[gi] = comm.NewWorld(len(g))
+		for pos, rank := range g {
+			bnPeerOf[rank] = bnWorlds[gi].Peer(pos)
+		}
+	}
+
+	// Reference model: every replica copies its weights so all start equal.
+	ref := efficientnet.New(rand.New(rand.NewSource(cfg.Seed)), modelCfg)
+	e.gradLen = ref.NumParams()
+
+	globalBatch := cfg.World * cfg.PerReplicaBatch * cfg.GradAccumSteps
+	e.stepsPerEpoch = (cfg.Dataset.Config().TrainSize + globalBatch - 1) / globalBatch
+
+	for r := 0; r < cfg.World; r++ {
+		m := efficientnet.New(rand.New(rand.NewSource(cfg.Seed)), modelCfg)
+		m.CopyWeightsFrom(ref)
+		opt, ok := optim.ByName(cfg.OptimizerName, cfg.WeightDecay)
+		if !ok {
+			return nil, fmt.Errorf("replica: unknown optimizer %q", cfg.OptimizerName)
+		}
+		rep := &Replica{
+			Rank:    r,
+			Model:   m,
+			peer:    e.world.Peer(r),
+			bnPeer:  bnPeerOf[r],
+			opt:     opt,
+			train:   data.NewShard(cfg.Dataset, 0, r, cfg.World),
+			val:     data.NewShard(cfg.Dataset, 1, r, cfg.World),
+			ctx:     &nn.Ctx{Training: true, Precision: cfg.Precision, RNG: rand.New(rand.NewSource(cfg.Seed*1000 + int64(r)))},
+			augRNG:  rand.New(rand.NewSource(cfg.Seed*2000 + int64(r))),
+			gradBuf: make([]float32, e.gradLen),
+			batch:   tensor.New(cfg.PerReplicaBatch, 3, modelCfg.Resolution, modelCfg.Resolution),
+			labels:  make([]int, cfg.PerReplicaBatch),
+			accum:   cfg.GradAccumSteps,
+		}
+		if cfg.EMADecay > 0 {
+			rep.ema = optim.NewWeightEMA(cfg.EMADecay)
+		}
+		var red nn.StatsReducer
+		if rep.bnPeer != nil {
+			red = &groupReducer{peer: rep.bnPeer}
+		}
+		for _, bn := range m.BatchNorms() {
+			if red != nil {
+				bn.Reducer = red
+			}
+			if cfg.BNMomentum > 0 {
+				bn.Momentum = cfg.BNMomentum
+			}
+		}
+		e.replicas = append(e.replicas, rep)
+	}
+	return e, nil
+}
+
+// GlobalBatch returns the effective global batch:
+// World × PerReplicaBatch × GradAccumSteps.
+func (e *Engine) GlobalBatch() int {
+	return e.cfg.World * e.cfg.PerReplicaBatch * e.cfg.GradAccumSteps
+}
+
+// World returns the number of replicas.
+func (e *Engine) World() int { return e.cfg.World }
+
+// BatchSize returns the replica's local batch size.
+func (r *Replica) BatchSize() int { return r.batch.Dim(0) }
+
+// Dataset returns the dataset this replica draws its shards from.
+func (r *Replica) Dataset() *data.Dataset { return r.train.D }
+
+// StepsPerEpoch returns the number of global steps per training epoch.
+func (e *Engine) StepsPerEpoch() int { return e.stepsPerEpoch }
+
+// Replica returns the rank-r worker (rank 0 is the conventional reference).
+func (e *Engine) Replica(r int) *Replica { return e.replicas[r] }
+
+// Step executes one synchronized global training step: every replica runs
+// forward/backward on its shard of the batch, gradients are ring-all-reduced
+// and averaged, and each replica applies the identical optimizer update.
+func (e *Engine) Step() StepResult {
+	epochF := float64(e.stepCount) / float64(e.stepsPerEpoch)
+	lr := e.cfg.Schedule.LR(epochF)
+	epoch := e.stepCount / e.stepsPerEpoch
+	step := e.stepCount % e.stepsPerEpoch
+
+	results := make([]StepResult, len(e.replicas))
+	var wg sync.WaitGroup
+	for _, rep := range e.replicas {
+		wg.Add(1)
+		go func(rep *Replica) {
+			defer wg.Done()
+			results[rep.Rank] = rep.trainStep(epoch, step, lr, e.cfg.LabelSmoothing, e.cfg.World, !e.cfg.NoAugment)
+		}(rep)
+	}
+	wg.Wait()
+	e.stepCount++
+
+	// All replicas all-reduced their metrics already; replica 0's view is
+	// the global view.
+	out := results[0]
+	out.LR = lr
+	out.Epoch = epochF
+	return out
+}
+
+// trainStep is one replica's share of a global step.
+func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, world int, augment bool) StepResult {
+	for _, p := range r.Model.Params() {
+		p.Value.ZeroGrad()
+	}
+	// Run GradAccumSteps micro-batches, accumulating gradients locally
+	// before the all-reduce (autograd accumulation across tapes).
+	var lossSum float64
+	correct := 0
+	seen := 0
+	for k := 0; k < r.accum; k++ {
+		r.train.FillBatch(epoch, step*r.accum+k, r.batch, r.labels)
+		if augment {
+			data.Augment(r.batch, r.augRNG)
+		}
+		x := autograd.Constant(r.batch)
+		logits := r.Model.Forward(r.ctx, x)
+		loss := autograd.SoftmaxCrossEntropy(logits, r.labels, smoothing)
+		loss.Backward()
+
+		pred := autograd.Argmax(logits.T)
+		for i, l := range r.labels {
+			if pred[i] == l {
+				correct++
+			}
+		}
+		lossSum += float64(loss.T.Data()[0]) * float64(len(r.labels))
+		seen += len(r.labels)
+	}
+
+	// Flatten gradients, all-reduce, average, scatter back.
+	off := 0
+	for _, p := range r.Model.Params() {
+		g := p.Grad()
+		if g == nil {
+			// Parameter unused this step: contribute zeros.
+			for i := 0; i < p.Data().Len(); i++ {
+				r.gradBuf[off+i] = 0
+			}
+			off += p.Data().Len()
+			continue
+		}
+		copy(r.gradBuf[off:off+g.Len()], g.Data())
+		off += g.Len()
+	}
+	r.peer.RingAllReduce(r.gradBuf[:off])
+	inv := float32(1) / float32(world*r.accum)
+	off = 0
+	for _, p := range r.Model.Params() {
+		n := p.Data().Len()
+		g := p.Grad()
+		if g == nil {
+			g = tensor.New(p.Data().Shape()...)
+			p.Value.Grad = g
+		}
+		for i := 0; i < n; i++ {
+			g.Data()[i] = r.gradBuf[off+i] * inv
+		}
+		off += n
+	}
+	r.opt.Step(r.Model.Params(), lr)
+	if r.ema != nil {
+		r.ema.Update(r.Model.Params())
+	}
+
+	// Metrics: local sums all-reduced into global means.
+	sums := []float64{lossSum, float64(correct), float64(seen)}
+	r.peer.RingAllReduceF64(sums)
+	return StepResult{
+		Loss:     sums[0] / sums[2],
+		Accuracy: sums[1] / sums[2],
+	}
+}
+
+// Evaluate runs distributed evaluation (§3.3): every replica scores its
+// shard of the validation split in eval mode, and the correct/total counts
+// are all-reduced. maxSamplesPerReplica caps work for quick checks
+// (0 = full shard).
+func (e *Engine) Evaluate(maxSamplesPerReplica int) float64 {
+	accs := make([]float64, len(e.replicas))
+	var wg sync.WaitGroup
+	for _, rep := range e.replicas {
+		wg.Add(1)
+		go func(rep *Replica) {
+			defer wg.Done()
+			accs[rep.Rank] = rep.evaluate(maxSamplesPerReplica)
+		}(rep)
+	}
+	wg.Wait()
+	return accs[0]
+}
+
+func (r *Replica) evaluate(maxSamples int) float64 {
+	// Evaluate the EMA ("shadow") weights when enabled, as the reference
+	// EfficientNet setup does; swap back afterwards.
+	if r.ema != nil && r.ema.Steps() > 0 {
+		r.ema.Swap(r.Model.Params())
+		defer r.ema.Swap(r.Model.Params())
+	}
+	n := r.val.Len()
+	if maxSamples > 0 && maxSamples < n {
+		n = maxSamples
+	}
+	bs := r.batch.Dim(0)
+	ctx := &nn.Ctx{Training: false, Precision: r.ctx.Precision}
+	correct, total := 0, 0
+	for lo := 0; lo < n; lo += bs {
+		cnt := bs
+		if lo+cnt > n {
+			cnt = n - lo
+		}
+		// Reuse the full batch tensor; only the first cnt entries count.
+		r.val.FillBatch(0, lo/bs, r.batch, r.labels)
+		logits := r.Model.Forward(ctx, autograd.Constant(r.batch))
+		pred := autograd.Argmax(logits.T)
+		for i := 0; i < cnt; i++ {
+			if pred[i] == r.labels[i] {
+				correct++
+			}
+		}
+		total += cnt
+	}
+	sums := []float64{float64(correct), float64(total)}
+	r.peer.RingAllReduceF64(sums)
+	if sums[1] == 0 {
+		return 0
+	}
+	return sums[0] / sums[1]
+}
+
+// WeightsInSync verifies all replicas hold bitwise-identical parameters —
+// the core invariant of synchronous data parallelism. Returns the first
+// divergent parameter name, or "" when in sync.
+func (e *Engine) WeightsInSync() string {
+	ref := e.replicas[0].Model.Params()
+	for _, rep := range e.replicas[1:] {
+		ps := rep.Model.Params()
+		for i, p := range ps {
+			a, b := ref[i].Data().Data(), p.Data().Data()
+			for j := range a {
+				if a[j] != b[j] {
+					return fmt.Sprintf("%s[%d] (rank %d)", p.Name, j, rep.Rank)
+				}
+			}
+		}
+	}
+	return ""
+}

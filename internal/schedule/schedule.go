@@ -1,0 +1,109 @@
+// Package schedule implements the learning-rate schedules from the paper's
+// §3.2: the linear scaling rule (a base LR per 256 samples scaled by the
+// global batch size), linear warmup, and exponential / polynomial decay —
+// exponential for the RMSProp rows of Table 2, polynomial for the LARS rows.
+package schedule
+
+import "math"
+
+// Schedule maps a (fractional) epoch to a learning rate.
+type Schedule interface {
+	LR(epoch float64) float64
+}
+
+// ScaledLR applies the linear scaling rule of Goyal et al., as used in the
+// paper: the per-256-sample learning rate from Table 2 times batch/256.
+func ScaledLR(lrPer256 float64, globalBatch int) float64 {
+	return lrPer256 * float64(globalBatch) / 256.0
+}
+
+// Constant is a flat schedule.
+type Constant float64
+
+// LR implements Schedule.
+func (c Constant) LR(float64) float64 { return float64(c) }
+
+// Warmup wraps an inner schedule with a linear ramp from 0 to the inner
+// schedule's value over Epochs epochs. The paper warms up for 5 epochs
+// (RMSProp) or 43–50 epochs (LARS).
+type Warmup struct {
+	Epochs float64
+	Inner  Schedule
+}
+
+// LR implements Schedule.
+func (w Warmup) LR(epoch float64) float64 {
+	if w.Epochs > 0 && epoch < w.Epochs {
+		return w.Inner.LR(epoch) * epoch / w.Epochs
+	}
+	return w.Inner.LR(epoch)
+}
+
+// Exponential decays the peak LR by a factor Rate every DecayEpochs epochs.
+// Staircase selects discrete drops (the EfficientNet reference setting:
+// ×0.97 every 2.4 epochs, staircase).
+type Exponential struct {
+	Peak        float64
+	Rate        float64
+	DecayEpochs float64
+	Staircase   bool
+}
+
+// LR implements Schedule.
+func (e Exponential) LR(epoch float64) float64 {
+	p := epoch / e.DecayEpochs
+	if e.Staircase {
+		p = math.Floor(p)
+	}
+	return e.Peak * math.Pow(e.Rate, p)
+}
+
+// Polynomial decays from Peak to End over TotalEpochs with the given Power.
+// Power 2 is the MLPerf/LARS convention the paper follows for its LARS rows.
+type Polynomial struct {
+	Peak        float64
+	End         float64
+	TotalEpochs float64
+	Power       float64
+}
+
+// LR implements Schedule.
+func (p Polynomial) LR(epoch float64) float64 {
+	if epoch >= p.TotalEpochs {
+		return p.End
+	}
+	frac := 1 - epoch/p.TotalEpochs
+	return (p.Peak-p.End)*math.Pow(frac, p.Power) + p.End
+}
+
+// Cosine decays from Peak to zero over TotalEpochs following a half cosine.
+type Cosine struct {
+	Peak        float64
+	TotalEpochs float64
+}
+
+// LR implements Schedule.
+func (c Cosine) LR(epoch float64) float64 {
+	if epoch >= c.TotalEpochs {
+		return 0
+	}
+	return c.Peak * 0.5 * (1 + math.Cos(math.Pi*epoch/c.TotalEpochs))
+}
+
+// --- Paper presets ------------------------------------------------------------
+
+// RMSPropPreset reproduces the RMSProp rows of Table 2: LR 0.016 per 256
+// samples scaled linearly, warmed up over 5 epochs, exponential decay ×0.97
+// every 2.4 epochs (staircase).
+func RMSPropPreset(globalBatch int) Schedule {
+	peak := ScaledLR(0.016, globalBatch)
+	return Warmup{Epochs: 5, Inner: Exponential{Peak: peak, Rate: 0.97, DecayEpochs: 2.4, Staircase: true}}
+}
+
+// LARSPreset reproduces the LARS rows of Table 2: the per-256 LR from the
+// table scaled linearly, long warmup, polynomial (power-2) decay to zero
+// over the full 350 epochs.
+func LARSPreset(lrPer256 float64, globalBatch int, warmupEpochs, totalEpochs float64) Schedule {
+	peak := ScaledLR(lrPer256, globalBatch)
+	return Warmup{Epochs: warmupEpochs, Inner: Polynomial{Peak: peak, End: 0, TotalEpochs: totalEpochs, Power: 2}}
+}

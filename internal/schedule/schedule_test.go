@@ -1,0 +1,154 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScaledLRLinearRule(t *testing.T) {
+	// Table 2: LR 0.016 per 256 at batch 4096 → peak 0.256.
+	if got := ScaledLR(0.016, 4096); math.Abs(got-0.256) > 1e-12 {
+		t.Fatalf("ScaledLR = %v, want 0.256", got)
+	}
+	// LARS row: 0.236 per 256 at batch 16384 → 15.104.
+	if got := ScaledLR(0.236, 16384); math.Abs(got-15.104) > 1e-9 {
+		t.Fatalf("ScaledLR = %v, want 15.104", got)
+	}
+	// Doubling the batch doubles the LR.
+	f := func(b uint16) bool {
+		batch := int(b)%65536 + 256
+		return math.Abs(ScaledLR(0.1, 2*batch)-2*ScaledLR(0.1, batch)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWarmupRampsLinearly(t *testing.T) {
+	s := Warmup{Epochs: 5, Inner: Constant(1.0)}
+	if got := s.LR(0); got != 0 {
+		t.Fatalf("warmup LR(0) = %v, want 0", got)
+	}
+	if got := s.LR(2.5); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("warmup LR(2.5) = %v, want 0.5", got)
+	}
+	if got := s.LR(5); got != 1 {
+		t.Fatalf("warmup LR(5) = %v, want 1", got)
+	}
+	if got := s.LR(100); got != 1 {
+		t.Fatalf("after warmup LR = %v, want 1", got)
+	}
+}
+
+func TestWarmupMonotoneDuringRampQuick(t *testing.T) {
+	s := Warmup{Epochs: 50, Inner: Constant(2.0)}
+	f := func(a, b uint16) bool {
+		e1 := float64(a%5000) / 100 // 0..50
+		e2 := float64(b%5000) / 100
+		if e1 > e2 {
+			e1, e2 = e2, e1
+		}
+		return s.LR(e1) <= s.LR(e2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExponentialStaircase(t *testing.T) {
+	e := Exponential{Peak: 1, Rate: 0.97, DecayEpochs: 2.4, Staircase: true}
+	if got := e.LR(0); got != 1 {
+		t.Fatalf("LR(0) = %v", got)
+	}
+	if got := e.LR(2.3); got != 1 {
+		t.Fatalf("staircase LR(2.3) = %v, want 1 (no drop before 2.4)", got)
+	}
+	if got := e.LR(2.4); math.Abs(got-0.97) > 1e-12 {
+		t.Fatalf("LR(2.4) = %v, want 0.97", got)
+	}
+	if got := e.LR(4.8); math.Abs(got-0.97*0.97) > 1e-12 {
+		t.Fatalf("LR(4.8) = %v, want 0.9409", got)
+	}
+	// Smooth variant interpolates.
+	s := Exponential{Peak: 1, Rate: 0.97, DecayEpochs: 2.4}
+	if got := s.LR(1.2); !(got < 1 && got > 0.97) {
+		t.Fatalf("smooth LR(1.2) = %v, want in (0.97, 1)", got)
+	}
+}
+
+func TestPolynomialDecay(t *testing.T) {
+	p := Polynomial{Peak: 10, End: 0, TotalEpochs: 350, Power: 2}
+	if got := p.LR(0); got != 10 {
+		t.Fatalf("LR(0) = %v", got)
+	}
+	if got := p.LR(175); math.Abs(got-2.5) > 1e-12 { // 10 * (0.5)^2
+		t.Fatalf("LR(175) = %v, want 2.5", got)
+	}
+	if got := p.LR(350); got != 0 {
+		t.Fatalf("LR(350) = %v, want 0", got)
+	}
+	if got := p.LR(400); got != 0 {
+		t.Fatalf("LR beyond total = %v, want End", got)
+	}
+}
+
+func TestDecaySchedulesMonotoneQuick(t *testing.T) {
+	scheds := []Schedule{
+		Exponential{Peak: 3, Rate: 0.9, DecayEpochs: 2},
+		Polynomial{Peak: 3, End: 0, TotalEpochs: 100, Power: 2},
+		Cosine{Peak: 3, TotalEpochs: 100},
+	}
+	f := func(a, b uint16) bool {
+		e1 := float64(a % 10000 / 100)
+		e2 := float64(b % 10000 / 100)
+		if e1 > e2 {
+			e1, e2 = e2, e1
+		}
+		for _, s := range scheds {
+			if s.LR(e1) < s.LR(e2)-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosineEndpoints(t *testing.T) {
+	c := Cosine{Peak: 2, TotalEpochs: 10}
+	if got := c.LR(0); got != 2 {
+		t.Fatalf("cosine LR(0) = %v", got)
+	}
+	if got := c.LR(5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("cosine LR(mid) = %v, want 1", got)
+	}
+	if got := c.LR(10); got != 0 {
+		t.Fatalf("cosine LR(end) = %v, want 0", got)
+	}
+}
+
+func TestPaperPresets(t *testing.T) {
+	// RMSProp preset at batch 4096: peak 0.256 after 5-epoch warmup.
+	r := RMSPropPreset(4096)
+	if got := r.LR(5); math.Abs(got-0.256*math.Pow(0.97, math.Floor(5/2.4))) > 1e-9 {
+		t.Fatalf("RMSProp preset LR(5) = %v", got)
+	}
+	if r.LR(1) >= r.LR(4.9) {
+		t.Fatal("RMSProp preset must still be warming up at epoch 1")
+	}
+	// LARS preset (Table 2 row: 0.236/256, batch 16384, warmup 50).
+	l := LARSPreset(0.236, 16384, 50, 350)
+	peak := ScaledLR(0.236, 16384)
+	if got := l.LR(50); math.Abs(got-peak*math.Pow(1-50.0/350, 2)) > 1e-9 {
+		t.Fatalf("LARS preset LR(50) = %v", got)
+	}
+	if got := l.LR(350); got != 0 {
+		t.Fatalf("LARS preset final LR = %v, want 0", got)
+	}
+	if l.LR(10) >= l.LR(49) {
+		t.Fatal("LARS preset must ramp during its 50-epoch warmup")
+	}
+}

@@ -1,0 +1,82 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{64, 256} {
+		n := n
+		b.Run(sizeName(n), func(b *testing.B) {
+			x := Randn(rng, 1, n, n)
+			y := Randn(rng, 1, n, n)
+			b.SetBytes(int64(3 * n * n * 4))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMul(x, y)
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 64:
+		return "64x64"
+	case 256:
+		return "256x256"
+	}
+	return "n"
+}
+
+func BenchmarkConv2DForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := Randn(rng, 1, 4, 16, 16, 16)
+	w := Randn(rng, 0.2, 32, 16, 3, 3)
+	spec := ConvSpec{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	b.Run("forward", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Conv2D(x, w, spec)
+		}
+	})
+	b.Run("backward", func(b *testing.B) {
+		dy := Randn(rng, 1, spec.OutShape(x, w)...)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Conv2DBackward(x, w, dy, spec)
+		}
+	})
+}
+
+func BenchmarkDepthwiseForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := Randn(rng, 1, 4, 32, 16, 16)
+	w := Randn(rng, 0.2, 32, 1, 3, 3)
+	spec := ConvSpec{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	b.Run("forward", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			DepthwiseConv2D(x, w, spec)
+		}
+	})
+	b.Run("backward", func(b *testing.B) {
+		dy := Randn(rng, 1, spec.OutShape(x, &Tensor{shape: []int{32, 32, 3, 3}})...)
+		// Correct dy shape from the real forward.
+		dy = Randn(rng, 1, DepthwiseConv2D(x, w, spec).Shape()...)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			DepthwiseConv2DBackward(x, w, dy, spec)
+		}
+	})
+}
+
+func BenchmarkElementwiseAdd1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := Randn(rng, 1, 1<<20)
+	y := Randn(rng, 1, 1<<20)
+	b.SetBytes(3 << 22)
+	for i := 0; i < b.N; i++ {
+		Add(x, y)
+	}
+}

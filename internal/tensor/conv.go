@@ -1,0 +1,291 @@
+package tensor
+
+import (
+	"fmt"
+
+	"effnetscale/internal/parallel"
+)
+
+// ConvSpec describes a 2-D convolution's geometry. Padding is symmetric
+// (PadH rows above and below, PadW columns left and right), which is how the
+// layer code realizes TensorFlow-style SAME padding for odd kernels.
+type ConvSpec struct {
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// OutSize returns the spatial output size for an input of size in with
+// kernel size k under the spec, for one dimension.
+func outSize(in, k, stride, pad int) int {
+	return (in+2*pad-k)/stride + 1
+}
+
+// OutShape returns the NCHW output shape of Conv2D(x, w, spec).
+func (s ConvSpec) OutShape(x, w *Tensor) []int {
+	n, _, h, wd := x.Dim4()
+	cout := w.Dim(0)
+	kh, kw := w.Dim(2), w.Dim(3)
+	return []int{n, cout, outSize(h, kh, s.StrideH, s.PadH), outSize(wd, kw, s.StrideW, s.PadW)}
+}
+
+// SamePad returns the symmetric padding that keeps output size == ceil(in/stride)
+// for an odd kernel size k.
+func SamePad(k int) int { return (k - 1) / 2 }
+
+// Im2Col expands one sample's receptive fields into a column matrix of shape
+// [Cin*KH*KW, OH*OW]. xd is the sample's [Cin,H,W] data. The result is
+// written into col, which must have the right size.
+func im2col(col []float32, xd []float32, cin, h, w, kh, kw, oh, ow int, spec ConvSpec) {
+	// col[(c*kh*kw + i*kw + j) * (oh*ow) + (oy*ow + ox)] = x[c, oy*s - p + i, ox*s - p + j]
+	ohw := oh * ow
+	for c := 0; c < cin; c++ {
+		xbase := c * h * w
+		for i := 0; i < kh; i++ {
+			for j := 0; j < kw; j++ {
+				crow := col[(c*kh*kw+i*kw+j)*ohw:]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*spec.StrideH - spec.PadH + i
+					orow := crow[oy*ow : oy*ow+ow]
+					if iy < 0 || iy >= h {
+						for ox := range orow {
+							orow[ox] = 0
+						}
+						continue
+					}
+					xrow := xd[xbase+iy*w : xbase+iy*w+w]
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*spec.StrideW - spec.PadW + j
+						if ix < 0 || ix >= w {
+							orow[ox] = 0
+						} else {
+							orow[ox] = xrow[ix]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2im scatters a column-matrix gradient back into an input-shaped gradient
+// (accumulating where receptive fields overlap).
+func col2im(dx []float32, col []float32, cin, h, w, kh, kw, oh, ow int, spec ConvSpec) {
+	ohw := oh * ow
+	for c := 0; c < cin; c++ {
+		xbase := c * h * w
+		for i := 0; i < kh; i++ {
+			for j := 0; j < kw; j++ {
+				crow := col[(c*kh*kw+i*kw+j)*ohw:]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*spec.StrideH - spec.PadH + i
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*spec.StrideW - spec.PadW + j
+						if ix < 0 || ix >= w {
+							continue
+						}
+						dx[xbase+iy*w+ix] += crow[oy*ow+ox]
+					}
+				}
+			}
+		}
+	}
+}
+
+// Conv2D computes a standard convolution of x [N,Cin,H,W] with weights
+// w [Cout,Cin,KH,KW] under spec, returning [N,Cout,OH,OW]. The implementation
+// is im2col + matmul per sample, parallelized over the batch.
+func Conv2D(x, w *Tensor, spec ConvSpec) *Tensor {
+	n, cin, h, wd := x.Dim4()
+	cout, cin2, kh, kw := w.Dim4()
+	if cin != cin2 {
+		panic(fmt.Sprintf("tensor: Conv2D channel mismatch x=%v w=%v", x.shape, w.shape))
+	}
+	oh := outSize(h, kh, spec.StrideH, spec.PadH)
+	ow := outSize(wd, kw, spec.StrideW, spec.PadW)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Conv2D produces empty output for x=%v w=%v spec=%+v", x.shape, w.shape, spec))
+	}
+	out := New(n, cout, oh, ow)
+	ckk := cin * kh * kw
+	ohw := oh * ow
+	wmat := w.data // [cout, ckk] row-major view
+
+	parallel.ForChunked(n, 1, func(lo, hi int) {
+		col := make([]float32, ckk*ohw)
+		for s := lo; s < hi; s++ {
+			im2col(col, x.data[s*cin*h*wd:(s+1)*cin*h*wd], cin, h, wd, kh, kw, oh, ow, spec)
+			// out_s [cout, ohw] = wmat [cout, ckk] @ col [ckk, ohw]
+			dst := out.data[s*cout*ohw : (s+1)*cout*ohw]
+			for i := 0; i < cout; i++ {
+				drow := dst[i*ohw : (i+1)*ohw]
+				wrow := wmat[i*ckk : (i+1)*ckk]
+				for p, wv := range wrow {
+					if wv == 0 {
+						continue
+					}
+					axpyRow(drow, wv, col[p*ohw:(p+1)*ohw])
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Conv2DBackward computes the gradients of Conv2D with respect to the input
+// and the weights given the upstream gradient dy [N,Cout,OH,OW].
+func Conv2DBackward(x, w, dy *Tensor, spec ConvSpec) (dx, dw *Tensor) {
+	n, cin, h, wd := x.Dim4()
+	cout, _, kh, kw := w.Dim4()
+	_, _, oh, ow := dy.Dim4()
+	ckk := cin * kh * kw
+	ohw := oh * ow
+
+	dx = New(x.shape...)
+	// Per-worker dw accumulators avoid a lock on the shared weight gradient.
+	nWorkers := parallel.MaxWorkers()
+	if nWorkers > n {
+		nWorkers = n
+	}
+	partials := make(chan []float32, nWorkers+1)
+
+	parallel.ForChunked(n, 1, func(lo, hi int) {
+		col := make([]float32, ckk*ohw)
+		dcol := make([]float32, ckk*ohw)
+		dwLocal := make([]float32, len(w.data))
+		for s := lo; s < hi; s++ {
+			xs := x.data[s*cin*h*wd : (s+1)*cin*h*wd]
+			im2col(col, xs, cin, h, wd, kh, kw, oh, ow, spec)
+			dys := dy.data[s*cout*ohw : (s+1)*cout*ohw]
+			// dW += dy_s [cout, ohw] @ col^T [ohw, ckk]
+			for i := 0; i < cout; i++ {
+				dyrow := dys[i*ohw : (i+1)*ohw]
+				dwrow := dwLocal[i*ckk : (i+1)*ckk]
+				for p := 0; p < ckk; p++ {
+					crow := col[p*ohw : (p+1)*ohw]
+					var acc float32
+					q := 0
+					for ; q+4 <= ohw; q += 4 {
+						acc += dyrow[q]*crow[q] + dyrow[q+1]*crow[q+1] +
+							dyrow[q+2]*crow[q+2] + dyrow[q+3]*crow[q+3]
+					}
+					for ; q < ohw; q++ {
+						acc += dyrow[q] * crow[q]
+					}
+					dwrow[p] += acc
+				}
+			}
+			// dcol = w^T [ckk, cout] @ dy_s [cout, ohw]
+			for i := range dcol {
+				dcol[i] = 0
+			}
+			for i := 0; i < cout; i++ {
+				wrow := w.data[i*ckk : (i+1)*ckk]
+				dyrow := dys[i*ohw : (i+1)*ohw]
+				for p, wv := range wrow {
+					if wv == 0 {
+						continue
+					}
+					axpyRow(dcol[p*ohw:(p+1)*ohw], wv, dyrow)
+				}
+			}
+			col2im(dx.data[s*cin*h*wd:(s+1)*cin*h*wd], dcol, cin, h, wd, kh, kw, oh, ow, spec)
+		}
+		partials <- dwLocal
+	})
+	close(partials)
+	dw = New(w.shape...)
+	for p := range partials {
+		for i, v := range p {
+			dw.data[i] += v
+		}
+	}
+	return dx, dw
+}
+
+// DepthwiseConv2D convolves each channel of x [N,C,H,W] with its own filter
+// from w [C,1,KH,KW], returning [N,C,OH,OW]. This is the dominant operator of
+// EfficientNet's MBConv blocks.
+func DepthwiseConv2D(x, w *Tensor, spec ConvSpec) *Tensor {
+	n, c, h, wd := x.Dim4()
+	cw, one, kh, kw := w.Dim4()
+	if cw != c || one != 1 {
+		panic(fmt.Sprintf("tensor: DepthwiseConv2D weight shape %v does not match channels %d", w.shape, c))
+	}
+	oh := outSize(h, kh, spec.StrideH, spec.PadH)
+	ow := outSize(wd, kw, spec.StrideW, spec.PadW)
+	out := New(n, c, oh, ow)
+	parallel.For(n*c, func(nc int) {
+		ch := nc % c
+		xs := x.data[nc*h*wd : (nc+1)*h*wd]
+		ws := w.data[ch*kh*kw : (ch+1)*kh*kw]
+		os := out.data[nc*oh*ow : (nc+1)*oh*ow]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var acc float32
+				for i := 0; i < kh; i++ {
+					iy := oy*spec.StrideH - spec.PadH + i
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for j := 0; j < kw; j++ {
+						ix := ox*spec.StrideW - spec.PadW + j
+						if ix < 0 || ix >= wd {
+							continue
+						}
+						acc += xs[iy*wd+ix] * ws[i*kw+j]
+					}
+				}
+				os[oy*ow+ox] = acc
+			}
+		}
+	})
+	return out
+}
+
+// DepthwiseConv2DBackward computes input and weight gradients of
+// DepthwiseConv2D.
+func DepthwiseConv2DBackward(x, w, dy *Tensor, spec ConvSpec) (dx, dw *Tensor) {
+	n, c, h, wd := x.Dim4()
+	_, _, kh, kw := w.Dim4()
+	_, _, oh, ow := dy.Dim4()
+	dx = New(x.shape...)
+	dw = New(w.shape...)
+	// Parallelize over channels; each channel's dw slice is owned by exactly
+	// one goroutine, and dx slices are disjoint per (n, c).
+	parallel.For(c, func(ch int) {
+		ws := w.data[ch*kh*kw : (ch+1)*kh*kw]
+		dws := dw.data[ch*kh*kw : (ch+1)*kh*kw]
+		for s := 0; s < n; s++ {
+			nc := s*c + ch
+			xs := x.data[nc*h*wd : (nc+1)*h*wd]
+			dxs := dx.data[nc*h*wd : (nc+1)*h*wd]
+			dys := dy.data[nc*oh*ow : (nc+1)*oh*ow]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := dys[oy*ow+ox]
+					if g == 0 {
+						continue
+					}
+					for i := 0; i < kh; i++ {
+						iy := oy*spec.StrideH - spec.PadH + i
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for j := 0; j < kw; j++ {
+							ix := ox*spec.StrideW - spec.PadW + j
+							if ix < 0 || ix >= wd {
+								continue
+							}
+							dxs[iy*wd+ix] += g * ws[i*kw+j]
+							dws[i*kw+j] += g * xs[iy*wd+ix]
+						}
+					}
+				}
+			}
+		}
+	})
+	return dx, dw
+}

@@ -1,0 +1,201 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveConv2D is a direct 7-loop reference implementation used to validate
+// the im2col kernel.
+func naiveConv2D(x, w *Tensor, spec ConvSpec) *Tensor {
+	n, cin, h, wd := x.Dim4()
+	cout, _, kh, kw := w.Dim4()
+	oh := outSize(h, kh, spec.StrideH, spec.PadH)
+	ow := outSize(wd, kw, spec.StrideW, spec.PadW)
+	out := New(n, cout, oh, ow)
+	for s := 0; s < n; s++ {
+		for co := 0; co < cout; co++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var acc float64
+					for ci := 0; ci < cin; ci++ {
+						for i := 0; i < kh; i++ {
+							iy := oy*spec.StrideH - spec.PadH + i
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for j := 0; j < kw; j++ {
+								ix := ox*spec.StrideW - spec.PadW + j
+								if ix < 0 || ix >= wd {
+									continue
+								}
+								acc += float64(x.At(s, ci, iy, ix)) * float64(w.At(co, ci, i, j))
+							}
+						}
+					}
+					out.Set(float32(acc), s, co, oy, ox)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestConv2DAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := []struct {
+		n, cin, h, w, cout, k int
+		spec                  ConvSpec
+	}{
+		{1, 1, 5, 5, 1, 3, ConvSpec{1, 1, 1, 1}},
+		{2, 3, 8, 8, 4, 3, ConvSpec{1, 1, 1, 1}},
+		{2, 3, 9, 9, 5, 3, ConvSpec{2, 2, 1, 1}},
+		{1, 2, 7, 7, 3, 5, ConvSpec{2, 2, 2, 2}},
+		{3, 4, 6, 6, 2, 1, ConvSpec{1, 1, 0, 0}},
+		{1, 2, 8, 8, 2, 1, ConvSpec{2, 2, 0, 0}},
+	}
+	for _, c := range cases {
+		x := Randn(rng, 1, c.n, c.cin, c.h, c.w)
+		w := Randn(rng, 1, c.cout, c.cin, c.k, c.k)
+		got := Conv2D(x, w, c.spec)
+		want := naiveConv2D(x, w, c.spec)
+		if !SameShape(got, want) {
+			t.Fatalf("Conv2D shape %v, want %v", got.Shape(), want.Shape())
+		}
+		for i := range got.Data() {
+			if !almostEqual(float64(got.Data()[i]), float64(want.Data()[i]), 1e-4) {
+				t.Fatalf("Conv2D case %+v: out[%d] = %v, want %v", c, i, got.Data()[i], want.Data()[i])
+			}
+		}
+	}
+}
+
+// numericalGrad computes the central finite-difference gradient of
+// f with respect to x, perturbing one element at a time.
+func numericalGrad(x *Tensor, f func() float64, eps float32) *Tensor {
+	g := New(x.Shape()...)
+	for i := range x.Data() {
+		orig := x.Data()[i]
+		x.Data()[i] = orig + eps
+		plus := f()
+		x.Data()[i] = orig - eps
+		minus := f()
+		x.Data()[i] = orig
+		g.Data()[i] = float32((plus - minus) / (2 * float64(eps)))
+	}
+	return g
+}
+
+func checkGrad(t *testing.T, name string, analytic, numeric *Tensor, tol float64) {
+	t.Helper()
+	for i := range analytic.Data() {
+		a, n := float64(analytic.Data()[i]), float64(numeric.Data()[i])
+		if math.Abs(a-n) > tol*(1+math.Abs(a)+math.Abs(n)) {
+			t.Fatalf("%s grad[%d]: analytic %v vs numeric %v", name, i, a, n)
+		}
+	}
+}
+
+func TestConv2DBackwardGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := Randn(rng, 1, 2, 2, 5, 5)
+	w := Randn(rng, 1, 3, 2, 3, 3)
+	spec := ConvSpec{2, 2, 1, 1}
+	// Loss = sum(conv(x, w) * fixed random weighting) to get nontrivial dy.
+	weighting := Randn(rng, 1, spec.OutShape(x, w)...)
+	loss := func() float64 {
+		y := Conv2D(x, w, spec)
+		return Dot(y, weighting)
+	}
+	dx, dw := Conv2DBackward(x, w, weighting, spec)
+	checkGrad(t, "conv dx", dx, numericalGrad(x, loss, 1e-2), 2e-2)
+	checkGrad(t, "conv dw", dw, numericalGrad(w, loss, 1e-2), 2e-2)
+}
+
+func naiveDepthwise(x, w *Tensor, spec ConvSpec) *Tensor {
+	n, c, h, wd := x.Dim4()
+	_, _, kh, kw := w.Dim4()
+	oh := outSize(h, kh, spec.StrideH, spec.PadH)
+	ow := outSize(wd, kw, spec.StrideW, spec.PadW)
+	out := New(n, c, oh, ow)
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var acc float64
+					for i := 0; i < kh; i++ {
+						iy := oy*spec.StrideH - spec.PadH + i
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for j := 0; j < kw; j++ {
+							ix := ox*spec.StrideW - spec.PadW + j
+							if ix < 0 || ix >= wd {
+								continue
+							}
+							acc += float64(x.At(s, ch, iy, ix)) * float64(w.At(ch, 0, i, j))
+						}
+					}
+					out.Set(float32(acc), s, ch, oy, ox)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestDepthwiseConv2DAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, c := range []struct {
+		n, ch, h, w, k int
+		spec           ConvSpec
+	}{
+		{1, 1, 5, 5, 3, ConvSpec{1, 1, 1, 1}},
+		{2, 4, 8, 8, 3, ConvSpec{2, 2, 1, 1}},
+		{1, 3, 7, 7, 5, ConvSpec{1, 1, 2, 2}},
+	} {
+		x := Randn(rng, 1, c.n, c.ch, c.h, c.w)
+		w := Randn(rng, 1, c.ch, 1, c.k, c.k)
+		got := DepthwiseConv2D(x, w, c.spec)
+		want := naiveDepthwise(x, w, c.spec)
+		for i := range got.Data() {
+			if !almostEqual(float64(got.Data()[i]), float64(want.Data()[i]), 1e-4) {
+				t.Fatalf("DepthwiseConv2D case %+v: out[%d] = %v, want %v", c, i, got.Data()[i], want.Data()[i])
+			}
+		}
+	}
+}
+
+func TestDepthwiseBackwardGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := Randn(rng, 1, 2, 3, 6, 6)
+	w := Randn(rng, 1, 3, 1, 3, 3)
+	spec := ConvSpec{2, 2, 1, 1}
+	weighting := Randn(rng, 1, spec.OutShape(x, &Tensor{shape: []int{3, 3, 3, 3}})[0], 3, 3, 3)
+	// Build weighting with the true output shape instead.
+	y := DepthwiseConv2D(x, w, spec)
+	weighting = Randn(rng, 1, y.Shape()...)
+	loss := func() float64 {
+		return Dot(DepthwiseConv2D(x, w, spec), weighting)
+	}
+	dx, dw := DepthwiseConv2DBackward(x, w, weighting, spec)
+	checkGrad(t, "dw dx", dx, numericalGrad(x, loss, 1e-2), 2e-2)
+	checkGrad(t, "dw dw", dw, numericalGrad(w, loss, 1e-2), 2e-2)
+}
+
+func TestConvOutShape(t *testing.T) {
+	x := New(2, 3, 32, 32)
+	w := New(8, 3, 3, 3)
+	spec := ConvSpec{StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	got := spec.OutShape(x, w)
+	want := []int{2, 8, 16, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OutShape = %v, want %v", got, want)
+		}
+	}
+	if SamePad(3) != 1 || SamePad(5) != 2 || SamePad(1) != 0 {
+		t.Fatal("SamePad wrong")
+	}
+}

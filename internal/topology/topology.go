@@ -1,0 +1,182 @@
+// Package topology models the TPU-v3 pod the paper trains on: chips with two
+// cores each, arranged in a 2-D torus, carved into rectangular slices of
+// 32–2048 cores. It also constructs the batch-normalization replica groups of
+// §3.4, including the two-dimensional tiling used for groups larger than 16.
+package topology
+
+import "fmt"
+
+// CoresPerChip is fixed at 2 on TPU-v3.
+const CoresPerChip = 2
+
+// FullPodCores is the size of a complete TPU-v3 pod.
+const FullPodCores = 2048
+
+// Slice is a rectangular sub-grid of a pod's chip torus.
+type Slice struct {
+	// Rows and Cols are the chip-grid dimensions.
+	Rows, Cols int
+}
+
+// standardSlices maps core counts to their chip-grid shapes, following the
+// actual TPU-v3 slice geometry (a full pod is a 32×32 chip torus).
+var standardSlices = map[int]Slice{
+	32:   {4, 4},
+	64:   {8, 4},
+	128:  {8, 8},
+	256:  {16, 8},
+	512:  {16, 16},
+	1024: {32, 16},
+	2048: {32, 32},
+}
+
+// SliceForCores returns the standard slice shape for a core count.
+func SliceForCores(cores int) (Slice, error) {
+	s, ok := standardSlices[cores]
+	if !ok {
+		return Slice{}, fmt.Errorf("topology: no standard TPU-v3 slice with %d cores", cores)
+	}
+	return s, nil
+}
+
+// StandardCoreCounts lists supported slice sizes in ascending order.
+func StandardCoreCounts() []int { return []int{32, 64, 128, 256, 512, 1024, 2048} }
+
+// Chips returns the number of chips in the slice.
+func (s Slice) Chips() int { return s.Rows * s.Cols }
+
+// Cores returns the number of TPU cores in the slice.
+func (s Slice) Cores() int { return s.Chips() * CoresPerChip }
+
+// IsTorus reports whether the slice wraps around (full pod rows/cols of 32
+// get wraparound links; smaller slices are meshes on TPU-v3).
+func (s Slice) IsTorus() bool { return s.Rows == 32 && s.Cols == 32 }
+
+// Links returns the number of inter-chip links in the slice (mesh counting;
+// wraparound links added for full-pod dimensions).
+func (s Slice) Links() int {
+	horiz := s.Rows * (s.Cols - 1)
+	vert := s.Cols * (s.Rows - 1)
+	if s.Cols == 32 {
+		horiz += s.Rows
+	}
+	if s.Rows == 32 {
+		vert += s.Cols
+	}
+	return horiz + vert
+}
+
+// --- Batch-normalization replica groups --------------------------------------
+
+// BNGroups partitions world replicas into groups of the given size for
+// distributed batch normalization. Groups of 16 or fewer replicas are
+// contiguous runs of ranks (1-D); larger groups use the 2-D tiling of §3.4,
+// which keeps group members physically close in both torus dimensions and
+// thus lowers the cost of the statistics all-reduce.
+//
+// size must divide world. The returned groups are an exact partition of
+// [0, world).
+func BNGroups(world, size int, slice Slice) ([][]int, error) {
+	if size < 1 || world < 1 {
+		return nil, fmt.Errorf("topology: invalid BN group size %d for world %d", size, world)
+	}
+	if world%size != 0 {
+		return nil, fmt.Errorf("topology: BN group size %d does not divide world %d", size, world)
+	}
+	if size <= 16 {
+		return groups1D(world, size), nil
+	}
+	return groups2D(world, size, slice)
+}
+
+// groups1D produces contiguous rank runs.
+func groups1D(world, size int) [][]int {
+	groups := make([][]int, 0, world/size)
+	for lo := 0; lo < world; lo += size {
+		g := make([]int, size)
+		for i := range g {
+			g[i] = lo + i
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// groups2D tiles the slice's core grid with near-square tiles of the given
+// size. Cores are laid out row-major over a (Rows × Cols·CoresPerChip) grid:
+// the two cores of a chip sit next to each other in the column dimension.
+func groups2D(world, size int, slice Slice) ([][]int, error) {
+	rows := slice.Rows
+	cols := slice.Cols * CoresPerChip
+	if rows*cols != world {
+		return nil, fmt.Errorf("topology: slice %dx%d (%d cores) does not match world %d", slice.Rows, slice.Cols, rows*cols, world)
+	}
+	tileR, tileC, ok := tileShape(size, rows, cols)
+	if !ok {
+		return nil, fmt.Errorf("topology: cannot tile %d-core groups onto a %dx%d core grid", size, rows, cols)
+	}
+	var groups [][]int
+	for r0 := 0; r0 < rows; r0 += tileR {
+		for c0 := 0; c0 < cols; c0 += tileC {
+			g := make([]int, 0, size)
+			for r := r0; r < r0+tileR; r++ {
+				for c := c0; c < c0+tileC; c++ {
+					g = append(g, r*cols+c)
+				}
+			}
+			groups = append(groups, g)
+		}
+	}
+	return groups, nil
+}
+
+// tileShape finds the most square tileR×tileC = size that evenly tiles a
+// rows×cols grid, preferring shapes closest to square.
+func tileShape(size, rows, cols int) (tileR, tileC int, ok bool) {
+	best := -1
+	for r := 1; r <= size; r++ {
+		if size%r != 0 {
+			continue
+		}
+		c := size / r
+		if r > rows || c > cols || rows%r != 0 || cols%c != 0 {
+			continue
+		}
+		// Squareness score: smaller |r-c| is better.
+		d := r - c
+		if d < 0 {
+			d = -d
+		}
+		if best == -1 || d < best {
+			best = d
+			tileR, tileC = r, c
+		}
+	}
+	return tileR, tileC, best != -1
+}
+
+// GroupDiameter returns the maximum intra-group hop distance for a group
+// under the slice's core-grid layout — the latency-relevant measure that 2-D
+// tiling minimizes relative to 1-D runs.
+func GroupDiameter(group []int, slice Slice) int {
+	cols := slice.Cols * CoresPerChip
+	maxD := 0
+	for i := 0; i < len(group); i++ {
+		ri, ci := group[i]/cols, group[i]%cols
+		for j := i + 1; j < len(group); j++ {
+			rj, cj := group[j]/cols, group[j]%cols
+			d := abs(ri-rj) + abs(ci-cj)
+			if d > maxD {
+				maxD = d
+			}
+		}
+	}
+	return maxD
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

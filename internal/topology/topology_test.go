@@ -1,0 +1,150 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardSlices(t *testing.T) {
+	for _, cores := range StandardCoreCounts() {
+		s, err := SliceForCores(cores)
+		if err != nil {
+			t.Fatalf("SliceForCores(%d): %v", cores, err)
+		}
+		if s.Cores() != cores {
+			t.Errorf("slice %dx%d has %d cores, want %d", s.Rows, s.Cols, s.Cores(), cores)
+		}
+	}
+	if _, err := SliceForCores(100); err == nil {
+		t.Fatal("non-standard core count must error")
+	}
+	full, _ := SliceForCores(FullPodCores)
+	if !full.IsTorus() {
+		t.Fatal("full pod must be a torus")
+	}
+	small, _ := SliceForCores(128)
+	if small.IsTorus() {
+		t.Fatal("128-core slice is a mesh, not a torus")
+	}
+}
+
+func TestLinksCount(t *testing.T) {
+	// 2x2 mesh: 2*(2-1) horizontal rows *2 + vertical = 2+2 = 4.
+	s := Slice{Rows: 2, Cols: 2}
+	if got := s.Links(); got != 4 {
+		t.Fatalf("2x2 mesh links = %d, want 4", got)
+	}
+	// Full pod 32x32 torus: 32*32 horizontal + 32*32 vertical = 2048.
+	full := Slice{Rows: 32, Cols: 32}
+	if got := full.Links(); got != 2048 {
+		t.Fatalf("32x32 torus links = %d, want 2048", got)
+	}
+}
+
+func TestBNGroups1DContiguous(t *testing.T) {
+	slice, _ := SliceForCores(128)
+	groups, err := BNGroups(128, 8, slice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 16 {
+		t.Fatalf("got %d groups, want 16", len(groups))
+	}
+	if groups[1][0] != 8 || groups[1][7] != 15 {
+		t.Fatalf("group 1 not contiguous: %v", groups[1])
+	}
+}
+
+func TestBNGroups2DTiling(t *testing.T) {
+	// 128 cores on an 8x8 chip slice = 8 rows x 16 core-cols. Group size 32
+	// (>16) must use 2-D tiles.
+	slice, _ := SliceForCores(128)
+	groups, err := BNGroups(128, 32, slice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 4 {
+		t.Fatalf("got %d groups, want 4", len(groups))
+	}
+	// A 32-member 2-D tile on an 8x16 grid should be 4x8 or 8x4, with
+	// diameter well below the 1-D run's 31.
+	d := GroupDiameter(groups[0], slice)
+	if d >= 31 {
+		t.Fatalf("2-D tiled group diameter %d not better than 1-D", d)
+	}
+	if d > 12 {
+		t.Fatalf("2-D tile diameter %d too large for a near-square tile", d)
+	}
+}
+
+func TestBNGroupsPartitionQuick(t *testing.T) {
+	slice, _ := SliceForCores(256)
+	world := 256
+	f := func(szRaw uint8) bool {
+		sizes := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+		size := sizes[int(szRaw)%len(sizes)]
+		groups, err := BNGroups(world, size, slice)
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, world)
+		for _, g := range groups {
+			if len(g) != size {
+				return false
+			}
+			for _, r := range g {
+				if r < 0 || r >= world || seen[r] {
+					return false
+				}
+				seen[r] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBNGroupsErrors(t *testing.T) {
+	slice, _ := SliceForCores(128)
+	if _, err := BNGroups(128, 7, slice); err == nil {
+		t.Fatal("non-dividing group size must error")
+	}
+	if _, err := BNGroups(128, 0, slice); err == nil {
+		t.Fatal("zero group size must error")
+	}
+	// World not matching the slice in 2-D mode must error.
+	if _, err := BNGroups(64, 32, slice); err == nil {
+		t.Fatal("world/slice mismatch must error for 2-D grouping")
+	}
+}
+
+func TestGroupDiameter(t *testing.T) {
+	slice := Slice{Rows: 4, Cols: 4} // 4x8 core grid
+	// Two cores at opposite corners of the core grid: distance 3+7 = 10.
+	if d := GroupDiameter([]int{0, 31}, slice); d != 10 {
+		t.Fatalf("diameter = %d, want 10", d)
+	}
+	if d := GroupDiameter([]int{5}, slice); d != 0 {
+		t.Fatalf("singleton diameter = %d, want 0", d)
+	}
+}
+
+func TestTileShapePrefersSquare(t *testing.T) {
+	r, c, ok := tileShape(64, 16, 32)
+	if !ok {
+		t.Fatal("tileShape failed")
+	}
+	if r*c != 64 {
+		t.Fatalf("tile %dx%d does not have 64 members", r, c)
+	}
+	if r != 8 || c != 8 {
+		t.Fatalf("tile = %dx%d, want 8x8", r, c)
+	}
+}

@@ -1,0 +1,197 @@
+// Package trainloop implements the two training-and-evaluation loop
+// structures the paper contrasts in §3.3:
+//
+//   - EstimatorLoop — the TPUEstimator baseline, where evaluation runs
+//     serially on a single dedicated worker while the training replicas
+//     idle. End-to-end time then depends heavily on evaluation time.
+//   - DistributedLoop — the Kumar et al. loop the paper adopts, where both
+//     training and evaluation steps are sharded across all replicas.
+//
+// The loop tracks peak top-1 accuracy and the wall-clock time at which it is
+// reached, which is exactly the quantity plotted in the paper's Figure 1.
+package trainloop
+
+import (
+	"fmt"
+	"time"
+
+	"effnetscale/internal/autograd"
+	"effnetscale/internal/checkpoint"
+	"effnetscale/internal/data"
+	"effnetscale/internal/nn"
+	"effnetscale/internal/replica"
+	"effnetscale/internal/tensor"
+)
+
+// LoopMode selects the evaluation strategy.
+type LoopMode int
+
+const (
+	// Distributed shards evaluation across all replicas (§3.3).
+	Distributed LoopMode = iota
+	// Estimator evaluates the full validation split on replica 0 only,
+	// modelling TPUEstimator's separate-evaluation-worker bottleneck.
+	Estimator
+)
+
+// String names the mode.
+func (m LoopMode) String() string {
+	if m == Estimator {
+		return "estimator"
+	}
+	return "distributed"
+}
+
+// Config drives Run.
+type Config struct {
+	Engine *replica.Engine
+	// Epochs bounds training length.
+	Epochs int
+	// EvalEverySteps is the evaluation cadence (0 = once per epoch).
+	EvalEverySteps int
+	// EvalSamplesPerReplica caps eval work in Distributed mode; Estimator
+	// mode scales it by the world size so both modes score the same total
+	// sample count per evaluation.
+	EvalSamplesPerReplica int
+	// TargetAccuracy stops training early when reached (0 = run all epochs).
+	TargetAccuracy float64
+	// Mode selects the evaluation structure.
+	Mode LoopMode
+	// Progress, if non-nil, receives one line per evaluation.
+	Progress func(string)
+	// CheckpointPath, when set, saves replica 0's model there after every
+	// evaluation that improves on the best accuracy so far (atomic write).
+	CheckpointPath string
+}
+
+// EvalPoint is one evaluation snapshot.
+type EvalPoint struct {
+	Step     int
+	Epoch    float64
+	Accuracy float64
+	Elapsed  time.Duration
+}
+
+// Result summarizes a run.
+type Result struct {
+	History      []EvalPoint
+	PeakAccuracy float64
+	// TimeToPeak is the elapsed wall-clock time at which peak accuracy was
+	// first observed — the paper's Figure 1 metric.
+	TimeToPeak time.Duration
+	TotalTime  time.Duration
+	StepsRun   int
+	// EvalSerialSamples counts evaluation samples processed serially by the
+	// busiest worker — the deterministic measure of the §3.3 bottleneck
+	// (Estimator mode processes world× more than Distributed mode).
+	EvalSerialSamples int
+	// EvalWallTime accumulates wall-clock time spent in evaluation.
+	EvalWallTime time.Duration
+	ReachedGoal  bool
+	// CheckpointsSaved counts best-so-far checkpoints written.
+	CheckpointsSaved int
+}
+
+// Run trains the engine under the configured loop and returns the history.
+func Run(cfg Config) *Result {
+	if cfg.Engine == nil {
+		panic("trainloop: engine is required")
+	}
+	eng := cfg.Engine
+	evalEvery := cfg.EvalEverySteps
+	if evalEvery <= 0 {
+		evalEvery = eng.StepsPerEpoch()
+	}
+	res := &Result{}
+	start := time.Now()
+
+	totalSteps := cfg.Epochs * eng.StepsPerEpoch()
+	for s := 0; s < totalSteps; s++ {
+		eng.Step()
+		res.StepsRun++
+		if (s+1)%evalEvery != 0 && s+1 != totalSteps {
+			continue
+		}
+		evalStart := time.Now()
+		var acc float64
+		switch cfg.Mode {
+		case Estimator:
+			// Full validation set on one worker; everyone else waits.
+			n := cfg.EvalSamplesPerReplica * eng.World()
+			acc = estimatorEvaluate(eng, n)
+			res.EvalSerialSamples += n
+		default:
+			acc = eng.Evaluate(cfg.EvalSamplesPerReplica)
+			res.EvalSerialSamples += cfg.EvalSamplesPerReplica
+		}
+		res.EvalWallTime += time.Since(evalStart)
+		pt := EvalPoint{
+			Step:     res.StepsRun,
+			Epoch:    float64(res.StepsRun) / float64(eng.StepsPerEpoch()),
+			Accuracy: acc,
+			Elapsed:  time.Since(start),
+		}
+		res.History = append(res.History, pt)
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("step %5d epoch %6.2f  top-1 %.4f  (%s)", pt.Step, pt.Epoch, pt.Accuracy, pt.Elapsed.Round(time.Millisecond)))
+		}
+		if acc > res.PeakAccuracy {
+			res.PeakAccuracy = acc
+			res.TimeToPeak = pt.Elapsed
+			if cfg.CheckpointPath != "" {
+				if err := checkpoint.SaveFile(cfg.CheckpointPath, eng.Replica(0).Model); err != nil {
+					// Surface via progress rather than aborting training.
+					if cfg.Progress != nil {
+						cfg.Progress("checkpoint save failed: " + err.Error())
+					}
+				} else {
+					res.CheckpointsSaved++
+				}
+			}
+		}
+		if cfg.TargetAccuracy > 0 && acc >= cfg.TargetAccuracy {
+			res.ReachedGoal = true
+			break
+		}
+	}
+	res.TotalTime = time.Since(start)
+	return res
+}
+
+// estimatorEvaluate scores maxSamples validation images on replica 0 alone,
+// reproducing the serialized-evaluation structure of TPUEstimator.
+func estimatorEvaluate(e *replica.Engine, maxSamples int) float64 {
+	rep := e.Replica(0)
+	model := rep.Model
+	ds := rep.Dataset()
+	shard := data.NewShard(ds, 1, 0, 1) // the whole validation split
+	n := shard.Len()
+	if maxSamples > 0 && maxSamples < n {
+		n = maxSamples
+	}
+	bs := rep.BatchSize()
+	res := ds.Config().Resolution
+	batch := tensor.New(bs, 3, res, res)
+	labels := make([]int, bs)
+	ctx := nn.EvalCtx()
+	correct, total := 0, 0
+	for lo := 0; lo < n; lo += bs {
+		cnt := bs
+		if lo+cnt > n {
+			cnt = n - lo
+		}
+		shard.FillBatch(0, lo/bs, batch, labels)
+		logits := model.Forward(ctx, autograd.Constant(batch))
+		pred := autograd.Argmax(logits.T)
+		for i := 0; i < cnt; i++ {
+			if pred[i] == labels[i] {
+				correct++
+			}
+		}
+		total += cnt
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

@@ -1,0 +1,167 @@
+package trainloop
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"effnetscale/internal/bf16"
+	"effnetscale/internal/checkpoint"
+	"effnetscale/internal/data"
+	"effnetscale/internal/efficientnet"
+	"effnetscale/internal/replica"
+	"effnetscale/internal/schedule"
+)
+
+func testEngine(t *testing.T, world, perBatch, bnGroup int, opt string, sched schedule.Schedule) *replica.Engine {
+	t.Helper()
+	ds := data.New(data.MiniConfig(4, 256, 16))
+	e, err := replica.New(replica.Config{
+		World:               world,
+		PerReplicaBatch:     perBatch,
+		Model:               "pico",
+		Dataset:             ds,
+		OptimizerName:       opt,
+		Schedule:            sched,
+		BNGroupSize:         bnGroup,
+		Precision:           bf16.FP32Policy,
+		Seed:                3,
+		DropoutOverride:     0,
+		DropConnectOverride: 0,
+		NoAugment:           true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestDistributedLoopTracksPeak(t *testing.T) {
+	e := testEngine(t, 2, 8, 2, "sgd", schedule.Constant(0.1))
+	var lines []string
+	res := Run(Config{
+		Engine:                e,
+		Epochs:                3,
+		EvalSamplesPerReplica: 16,
+		Mode:                  Distributed,
+		Progress:              func(s string) { lines = append(lines, s) },
+	})
+	if len(res.History) == 0 {
+		t.Fatal("no evaluation points recorded")
+	}
+	if res.PeakAccuracy <= 0.25 {
+		t.Fatalf("peak accuracy %.3f not above chance", res.PeakAccuracy)
+	}
+	if res.TimeToPeak <= 0 || res.TimeToPeak > res.TotalTime {
+		t.Fatalf("TimeToPeak %v outside (0, %v]", res.TimeToPeak, res.TotalTime)
+	}
+	if res.StepsRun != 3*e.StepsPerEpoch() {
+		t.Fatalf("StepsRun = %d, want %d", res.StepsRun, 3*e.StepsPerEpoch())
+	}
+	if len(lines) != len(res.History) {
+		t.Fatalf("progress lines %d != history %d", len(lines), len(res.History))
+	}
+	if !strings.Contains(lines[0], "top-1") {
+		t.Fatalf("progress line malformed: %q", lines[0])
+	}
+}
+
+func TestTargetAccuracyStopsEarly(t *testing.T) {
+	e := testEngine(t, 2, 8, 2, "sgd", schedule.Constant(0.1))
+	res := Run(Config{
+		Engine:                e,
+		Epochs:                50,
+		EvalSamplesPerReplica: 16,
+		TargetAccuracy:        0.5,
+		Mode:                  Distributed,
+	})
+	if !res.ReachedGoal {
+		t.Fatalf("never reached 0.5 accuracy (peak %.3f after %d steps)", res.PeakAccuracy, res.StepsRun)
+	}
+	if res.StepsRun >= 50*e.StepsPerEpoch() {
+		t.Fatal("did not stop early despite reaching target")
+	}
+}
+
+func TestEstimatorModeSerializesEvaluation(t *testing.T) {
+	// The §3.3 bottleneck, measured deterministically: with W replicas the
+	// Estimator loop pushes W× more eval samples through a single worker
+	// than the distributed loop pushes through each worker.
+	world := 4
+	evalPer := 8
+	epochs := 2
+
+	eDist := testEngine(t, world, 4, 1, "sgd", schedule.Constant(0.05))
+	dist := Run(Config{Engine: eDist, Epochs: epochs, EvalSamplesPerReplica: evalPer, Mode: Distributed})
+
+	eEst := testEngine(t, world, 4, 1, "sgd", schedule.Constant(0.05))
+	est := Run(Config{Engine: eEst, Epochs: epochs, EvalSamplesPerReplica: evalPer, Mode: Estimator})
+
+	if est.EvalSerialSamples != world*dist.EvalSerialSamples {
+		t.Fatalf("estimator serial samples = %d, want %d (= %d × distributed %d)",
+			est.EvalSerialSamples, world*dist.EvalSerialSamples, world, dist.EvalSerialSamples)
+	}
+	// Both loops measure accuracy on the same distribution; results must be
+	// in-range and training must have happened in both.
+	if dist.PeakAccuracy <= 0 || est.PeakAccuracy <= 0 {
+		t.Fatalf("degenerate accuracies: dist %.3f est %.3f", dist.PeakAccuracy, est.PeakAccuracy)
+	}
+}
+
+func TestEvalEveryStepsCadence(t *testing.T) {
+	e := testEngine(t, 2, 8, 1, "sgd", schedule.Constant(0.05))
+	res := Run(Config{
+		Engine:                e,
+		Epochs:                1,
+		EvalEverySteps:        4,
+		EvalSamplesPerReplica: 8,
+		Mode:                  Distributed,
+	})
+	steps := e.StepsPerEpoch()
+	want := steps / 4
+	if steps%4 != 0 {
+		want++ // final-step eval
+	}
+	if len(res.History) != want {
+		t.Fatalf("history has %d points, want %d", len(res.History), want)
+	}
+}
+
+func TestBestCheckpointSaving(t *testing.T) {
+	e := testEngine(t, 2, 8, 2, "sgd", schedule.Constant(0.1))
+	path := filepath.Join(t.TempDir(), "best.ckpt")
+	res := Run(Config{
+		Engine:                e,
+		Epochs:                2,
+		EvalSamplesPerReplica: 16,
+		Mode:                  Distributed,
+		CheckpointPath:        path,
+	})
+	if res.CheckpointsSaved == 0 {
+		t.Fatal("no best-so-far checkpoint written")
+	}
+	// The checkpoint must load back into a fresh model of the same family.
+	cfg, _ := efficientnet.ConfigByName("pico", 4)
+	cfg.Resolution = 16
+	fresh := efficientnet.New(rand.New(rand.NewSource(123)), cfg)
+	if err := checkpoint.LoadFile(path, fresh); err != nil {
+		t.Fatalf("best checkpoint unloadable: %v", err)
+	}
+}
+
+func TestLoopModeString(t *testing.T) {
+	if Distributed.String() != "distributed" || Estimator.String() != "estimator" {
+		t.Fatal("LoopMode.String wrong")
+	}
+}
+
+func TestLARSLoopRuns(t *testing.T) {
+	// Smoke-test the paper's actual large-batch configuration end to end:
+	// LARS + warmup + polynomial decay on the mini engine.
+	e := testEngine(t, 2, 8, 2, "lars", schedule.LARSPreset(0.236, 32, 1, 5))
+	res := Run(Config{Engine: e, Epochs: 2, EvalSamplesPerReplica: 8, Mode: Distributed})
+	if res.StepsRun == 0 || len(res.History) == 0 {
+		t.Fatal("LARS loop did not run")
+	}
+}

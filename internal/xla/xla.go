@@ -1,0 +1,60 @@
+// Package xla models the XLA memory-layout rules that drive the paper's
+// batch-size arithmetic (§2): XLA pads each tensor's batch dimension to a
+// multiple of eight, so a TPU core processing fewer than 8 examples wastes
+// cycles on padding. That is why a full 2048-core TPU-v3 pod needs a global
+// batch of at least 16384, and why the paper must make very large batches
+// work at all.
+package xla
+
+import "fmt"
+
+// BatchPadMultiple is XLA's padding granularity for the batch dimension.
+const BatchPadMultiple = 8
+
+// PadBatch returns the padded per-core batch the hardware actually executes.
+func PadBatch(perCore int) int {
+	if perCore <= 0 {
+		return 0
+	}
+	return (perCore + BatchPadMultiple - 1) / BatchPadMultiple * BatchPadMultiple
+}
+
+// PaddingWaste returns the fraction of executed examples that are padding
+// for the given per-core batch (0 when perCore is a multiple of 8).
+func PaddingWaste(perCore int) float64 {
+	if perCore <= 0 {
+		return 0
+	}
+	p := PadBatch(perCore)
+	return float64(p-perCore) / float64(p)
+}
+
+// MinEfficientGlobalBatch is the smallest global batch that incurs no
+// padding waste on the given number of cores — 16384 for a full 2048-core
+// pod, exactly the constraint stated in §2.
+func MinEfficientGlobalBatch(cores int) int { return cores * BatchPadMultiple }
+
+// SplitBatch validates and splits a global batch across cores, returning the
+// per-core batch. The global batch must divide evenly (the data-parallel
+// engine assigns identical shards).
+func SplitBatch(globalBatch, cores int) (int, error) {
+	if cores <= 0 {
+		return 0, fmt.Errorf("xla: core count %d must be positive", cores)
+	}
+	if globalBatch <= 0 {
+		return 0, fmt.Errorf("xla: global batch %d must be positive", globalBatch)
+	}
+	if globalBatch%cores != 0 {
+		return 0, fmt.Errorf("xla: global batch %d does not divide across %d cores", globalBatch, cores)
+	}
+	return globalBatch / cores, nil
+}
+
+// EffectiveThroughputFactor returns the fraction of compute doing useful
+// work for a per-core batch: useful / padded examples.
+func EffectiveThroughputFactor(perCore int) float64 {
+	if perCore <= 0 {
+		return 0
+	}
+	return float64(perCore) / float64(PadBatch(perCore))
+}

@@ -1,0 +1,78 @@
+package xla
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPadBatch(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 0}, {1, 8}, {7, 8}, {8, 8}, {9, 16}, {32, 32}, {33, 40},
+	}
+	for _, c := range cases {
+		if got := PadBatch(c.in); got != c.want {
+			t.Errorf("PadBatch(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPadBatchPropertiesQuick(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int(raw) % 10000
+		p := PadBatch(n)
+		if n == 0 {
+			return p == 0
+		}
+		return p >= n && p%BatchPadMultiple == 0 && p-n < BatchPadMultiple
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaddingWaste(t *testing.T) {
+	if w := PaddingWaste(8); w != 0 {
+		t.Errorf("PaddingWaste(8) = %v, want 0", w)
+	}
+	if w := PaddingWaste(4); w != 0.5 {
+		t.Errorf("PaddingWaste(4) = %v, want 0.5", w)
+	}
+	if w := PaddingWaste(1); w != 7.0/8 {
+		t.Errorf("PaddingWaste(1) = %v, want 7/8", w)
+	}
+}
+
+func TestMinEfficientGlobalBatchFullPod(t *testing.T) {
+	// §2: "training on an entire TPU-v3 pod which has 2048 TPU cores
+	// requires at least a global batch size of 16384".
+	if got := MinEfficientGlobalBatch(2048); got != 16384 {
+		t.Fatalf("MinEfficientGlobalBatch(2048) = %d, want 16384", got)
+	}
+}
+
+func TestSplitBatch(t *testing.T) {
+	if pc, err := SplitBatch(32768, 1024); err != nil || pc != 32 {
+		t.Fatalf("SplitBatch(32768, 1024) = %d, %v; want 32, nil", pc, err)
+	}
+	if pc, err := SplitBatch(65536, 1024); err != nil || pc != 64 {
+		t.Fatalf("SplitBatch(65536, 1024) = %d, %v; want 64, nil", pc, err)
+	}
+	if _, err := SplitBatch(100, 64); err == nil {
+		t.Fatal("non-dividing batch must error")
+	}
+	if _, err := SplitBatch(0, 64); err == nil {
+		t.Fatal("zero batch must error")
+	}
+	if _, err := SplitBatch(64, 0); err == nil {
+		t.Fatal("zero cores must error")
+	}
+}
+
+func TestEffectiveThroughputFactor(t *testing.T) {
+	if f := EffectiveThroughputFactor(32); f != 1 {
+		t.Errorf("factor(32) = %v, want 1", f)
+	}
+	if f := EffectiveThroughputFactor(4); f != 0.5 {
+		t.Errorf("factor(4) = %v, want 0.5", f)
+	}
+}
