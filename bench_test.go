@@ -29,7 +29,7 @@ import (
 	"effnetscale/internal/replica"
 	"effnetscale/internal/schedule"
 	"effnetscale/internal/tensor"
-	"effnetscale/internal/trainloop"
+	"effnetscale/internal/train"
 )
 
 // --- Table 1 -----------------------------------------------------------------
@@ -123,20 +123,33 @@ func newBenchEngine(b *testing.B, world, perBatch, bnGroup int) *replica.Engine 
 }
 
 func BenchmarkEvalLoop(b *testing.B) {
-	for _, mode := range []trainloop.LoopMode{trainloop.Distributed, trainloop.Estimator} {
-		mode := mode
-		b.Run(mode.String(), func(b *testing.B) {
-			eng := newBenchEngine(b, 4, 4, 1)
+	for _, strategy := range []train.EvalStrategy{train.Distributed{}, train.Estimator{}} {
+		strategy := strategy
+		b.Run(strategy.Name(), func(b *testing.B) {
+			sess, err := train.New(
+				train.WithModel("pico"),
+				train.WithWorld(4),
+				train.WithPerReplicaBatch(4),
+				train.WithData(data.MiniConfig(4, 512, 16)),
+				train.WithOptimizer("sgd", 0),
+				train.WithSchedule(schedule.Constant(0.05)),
+				train.WithPrecision(bf16.FP32Policy),
+				train.WithSeed(1),
+				train.WithoutAugmentation(),
+				train.WithEvalEvery(1<<30), // evaluate once, at the end
+				train.WithEvalSamples(32),
+				train.WithEvalStrategy(strategy),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.ResetTimer()
 			var serial int
 			for i := 0; i < b.N; i++ {
-				res := trainloop.Run(trainloop.Config{
-					Engine:                eng,
-					Epochs:                1,
-					EvalEverySteps:        1 << 30, // evaluate once, at the end
-					EvalSamplesPerReplica: 32,
-					Mode:                  mode,
-				})
+				res, err := sess.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
 				serial = res.EvalSerialSamples
 			}
 			b.ReportMetric(float64(serial), "serial-eval-samples")

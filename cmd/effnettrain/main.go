@@ -2,7 +2,7 @@
 // SynthImageNet with goroutine replicas — the mini-scale path that exercises
 // every mechanism of the paper (data parallelism, ring all-reduce, LARS or
 // RMSProp, warmup + decay schedules, distributed batch norm, bf16 convs,
-// distributed evaluation).
+// distributed evaluation) — through the train.Session API.
 //
 // Example (the paper's recipe at laptop scale):
 //
@@ -21,11 +21,9 @@ import (
 	"os"
 
 	"effnetscale/internal/bf16"
-	"effnetscale/internal/checkpoint"
 	"effnetscale/internal/data"
-	"effnetscale/internal/replica"
 	"effnetscale/internal/schedule"
-	"effnetscale/internal/trainloop"
+	"effnetscale/internal/train"
 )
 
 func main() {
@@ -39,6 +37,7 @@ func main() {
 		warmup     = flag.Float64("warmup-epochs", 2, "linear warmup epochs")
 		epochs     = flag.Int("epochs", 8, "training epochs")
 		bnGroup    = flag.Int("bn-group", 1, "distributed batch-norm group size (1 = local)")
+		gradAccum  = flag.Int("grad-accum", 1, "gradient-accumulation micro-batches per step")
 		classes    = flag.Int("classes", 8, "number of SynthImageNet classes")
 		trainSize  = flag.Int("train-size", 2048, "training images")
 		resolution = flag.Int("resolution", 32, "image resolution")
@@ -50,97 +49,95 @@ func main() {
 		evalPer    = flag.Int("eval-samples", 64, "eval samples per replica per evaluation")
 		targetAcc  = flag.Float64("target-acc", 0, "stop when eval accuracy reaches this (0 = run all epochs)")
 		bnMomentum = flag.Float64("bn-momentum", 0.9, "BN running-stats momentum (TF full-scale default is 0.99; short runs want 0.9)")
+		emaDecay   = flag.Float64("ema", 0, "weight-EMA decay (0 = disabled; reference setup evaluates EMA weights)")
 		saveCkpt   = flag.String("save", "", "write a checkpoint of replica 0's model here after training")
+		bestCkpt   = flag.String("save-best", "", "write a checkpoint here after every best-so-far evaluation")
 		loadCkpt   = flag.String("load", "", "load a checkpoint into every replica before training")
 	)
 	flag.Parse()
 
-	ds := data.New(data.Config{
-		NumClasses: *classes,
-		TrainSize:  *trainSize,
-		ValSize:    *trainSize / 4,
-		Resolution: *resolution,
-		NoiseStd:   0.25,
-		Seed:       *seed,
-	})
-
-	globalBatch := *replicas * *perBatch
-	peakInfo := schedule.ScaledLR(*lrPer256, globalBatch)
-	var sched schedule.Schedule
-	switch *decay {
-	case "polynomial":
-		sched = schedule.LARSPreset(*lrPer256, globalBatch, *warmup, float64(*epochs))
-	case "exponential":
-		sched = schedule.Warmup{Epochs: *warmup, Inner: schedule.Exponential{Peak: peakInfo, Rate: 0.97, DecayEpochs: 2.4, Staircase: true}}
-	case "cosine":
-		sched = schedule.Warmup{Epochs: *warmup, Inner: schedule.Cosine{Peak: peakInfo, TotalEpochs: float64(*epochs)}}
-	case "constant":
-		sched = schedule.Warmup{Epochs: *warmup, Inner: schedule.Constant(peakInfo)}
-	default:
-		fmt.Fprintf(os.Stderr, "effnettrain: unknown decay %q\n", *decay)
+	decayKind, err := train.DecayByName(*decay)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "effnettrain:", err)
 		os.Exit(2)
 	}
-
+	var strategy train.EvalStrategy = train.Distributed{}
+	if *estimator {
+		strategy = train.Estimator{}
+	}
 	precision := bf16.DefaultPolicy
 	if *fp32 {
 		precision = bf16.FP32Policy
 	}
 
-	eng, err := replica.New(replica.Config{
-		World:               *replicas,
-		PerReplicaBatch:     *perBatch,
-		Model:               *model,
-		Dataset:             ds,
-		OptimizerName:       *opt,
-		WeightDecay:         *wd,
-		Schedule:            sched,
-		BNGroupSize:         *bnGroup,
-		Precision:           precision,
-		LabelSmoothing:      float32(*smoothing),
-		Seed:                *seed,
-		DropoutOverride:     -1, // keep model defaults
-		DropConnectOverride: -1,
-		BNMomentum:          *bnMomentum,
-	})
+	opts := []train.Option{
+		train.WithModel(*model),
+		train.WithWorld(*replicas),
+		train.WithPerReplicaBatch(*perBatch),
+		train.WithGradAccum(*gradAccum),
+		train.WithData(data.Config{
+			NumClasses: *classes,
+			TrainSize:  *trainSize,
+			ValSize:    *trainSize / 4,
+			Resolution: *resolution,
+			NoiseStd:   0.25,
+			Seed:       *seed,
+		}),
+		train.WithOptimizer(*opt, *wd),
+		train.WithLinearScaling(*lrPer256, *warmup, decayKind),
+		train.WithBNGroup(*bnGroup),
+		train.WithPrecision(precision),
+		train.WithLabelSmoothing(*smoothing),
+		train.WithSeed(*seed),
+		train.WithDropout(train.ModelDefaultRate, train.ModelDefaultRate),
+		train.WithBNMomentum(*bnMomentum),
+		train.WithEpochs(*epochs),
+		train.WithEvalSamples(*evalPer),
+		train.WithEvalStrategy(strategy),
+		train.WithTarget(*targetAcc),
+		train.WithCallbacks(train.Progress(func(s string) { fmt.Println(s) })),
+	}
+	if *emaDecay > 0 {
+		opts = append(opts, train.WithEMA(*emaDecay))
+	}
+	if *bestCkpt != "" {
+		opts = append(opts, train.WithBestCheckpoint(*bestCkpt))
+	}
+
+	sess, err := train.New(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "effnettrain:", err)
 		os.Exit(1)
 	}
 	if *loadCkpt != "" {
-		for r := 0; r < *replicas; r++ {
-			if err := checkpoint.LoadFile(*loadCkpt, eng.Replica(r).Model); err != nil {
-				fmt.Fprintln(os.Stderr, "effnettrain: load:", err)
-				os.Exit(1)
-			}
+		if err := sess.LoadCheckpoint(*loadCkpt); err != nil {
+			fmt.Fprintln(os.Stderr, "effnettrain:", err)
+			os.Exit(1)
 		}
 		fmt.Printf("effnettrain: restored %s into %d replicas\n", *loadCkpt, *replicas)
 	}
 
-	mode := trainloop.Distributed
-	if *estimator {
-		mode = trainloop.Estimator
-	}
 	fmt.Printf("effnettrain: %s on %d replicas, global batch %d, %s + %s decay (peak LR %.3f), BN group %d, %s eval\n",
-		*model, *replicas, globalBatch, *opt, *decay, peakInfo, *bnGroup, mode)
+		*model, *replicas, sess.GlobalBatch(), *opt, *decay, schedule.ScaledLR(*lrPer256, sess.GlobalBatch()), *bnGroup, strategy.Name())
 
-	res := trainloop.Run(trainloop.Config{
-		Engine:                eng,
-		Epochs:                *epochs,
-		EvalSamplesPerReplica: *evalPer,
-		TargetAccuracy:        *targetAcc,
-		Mode:                  mode,
-		Progress:              func(s string) { fmt.Println(s) },
-	})
+	res, err := sess.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "effnettrain:", err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("\npeak top-1 %.4f at %v (total %v, %d steps, eval wall %v)\n",
 		res.PeakAccuracy, res.TimeToPeak.Round(1e6), res.TotalTime.Round(1e6), res.StepsRun, res.EvalWallTime.Round(1e6))
-	if sync := eng.WeightsInSync(); sync != "" {
+	for _, cerr := range res.CheckpointErrors {
+		fmt.Fprintln(os.Stderr, "effnettrain: checkpoint:", cerr)
+	}
+	if sync := sess.Engine().WeightsInSync(); sync != "" {
 		fmt.Fprintf(os.Stderr, "effnettrain: WARNING replicas out of sync at %s\n", sync)
 		os.Exit(1)
 	}
 	if *saveCkpt != "" {
-		if err := checkpoint.SaveFile(*saveCkpt, eng.Replica(0).Model); err != nil {
-			fmt.Fprintln(os.Stderr, "effnettrain: save:", err)
+		if err := sess.SaveCheckpoint(*saveCkpt); err != nil {
+			fmt.Fprintln(os.Stderr, "effnettrain:", err)
 			os.Exit(1)
 		}
 		fmt.Println("effnettrain: checkpoint written to", *saveCkpt)

@@ -1,7 +1,7 @@
 // Command minisweep runs mini-scale real-training grids over optimizers,
 // global batch sizes and BN group sizes, emitting a CSV of final train and
 // validation accuracies. It is the tool behind the mini-scale validation
-// tables in EXPERIMENTS.md.
+// tables in EXPERIMENTS.md. Each cell of the grid is one train.Session.
 //
 //	minisweep -optimizers lars,rmsprop -batches 64,256,1024 -epochs 5
 package main
@@ -13,10 +13,9 @@ import (
 	"strconv"
 	"strings"
 
-	"effnetscale/internal/bf16"
 	"effnetscale/internal/data"
-	"effnetscale/internal/replica"
 	"effnetscale/internal/schedule"
+	"effnetscale/internal/train"
 )
 
 func main() {
@@ -78,53 +77,53 @@ func parseInts(csv string) []int {
 	return out
 }
 
+// sweepSchedule is each optimizer's house schedule: the linear scaling rule
+// for RMSProp, a roughly batch-independent global LR for the trust-ratio
+// optimizers (mirroring the paper's LARS rows, whose per-256 LR halves as
+// batch doubles).
+func sweepSchedule(opt string, epochs int, larsLR, rmsLR float64) train.Option {
+	switch opt {
+	case "rmsprop":
+		return train.WithLinearScaling(rmsLR, 0.5, train.ExponentialDecay)
+	case "lars":
+		return train.WithSchedule(schedule.Warmup{Epochs: 1, Inner: schedule.Polynomial{Peak: larsLR, End: 0, TotalEpochs: float64(epochs), Power: 2}})
+	case "lamb":
+		// LAMB's trust ratio normalizes each update to ‖w‖ scale, so its
+		// LR is a per-step fraction of the weight norm — order 0.05.
+		return train.WithSchedule(schedule.Warmup{Epochs: 1, Inner: schedule.Polynomial{Peak: 0.05, End: 0, TotalEpochs: float64(epochs), Power: 2}})
+	default:
+		return train.WithSchedule(schedule.Warmup{Epochs: 0.5, Inner: schedule.Constant(0.1)})
+	}
+}
+
 func runOne(ds *data.Dataset, model, opt string, world, globalBatch, bnGroup, epochs int, seed int64, larsLR, rmsLR float64) (trainAcc, valAcc float64, steps int, err error) {
 	perBatch := globalBatch / world
 	if perBatch < 1 {
 		return 0, 0, 0, fmt.Errorf("global batch %d too small for %d replicas", globalBatch, world)
 	}
-	var sched schedule.Schedule
-	switch opt {
-	case "rmsprop":
-		peak := schedule.ScaledLR(rmsLR, globalBatch)
-		sched = schedule.Warmup{Epochs: 0.5, Inner: schedule.Exponential{Peak: peak, Rate: 0.97, DecayEpochs: 2.4, Staircase: true}}
-	case "lars":
-		sched = schedule.Warmup{Epochs: 1, Inner: schedule.Polynomial{Peak: larsLR, End: 0, TotalEpochs: float64(epochs), Power: 2}}
-	case "lamb":
-		// LAMB's trust ratio normalizes each update to ‖w‖ scale, so its
-		// LR is a per-step fraction of the weight norm — order 0.05.
-		sched = schedule.Warmup{Epochs: 1, Inner: schedule.Polynomial{Peak: 0.05, End: 0, TotalEpochs: float64(epochs), Power: 2}}
-	default:
-		sched = schedule.Warmup{Epochs: 0.5, Inner: schedule.Constant(0.1)}
-	}
-	eng, err := replica.New(replica.Config{
-		World:               world,
-		PerReplicaBatch:     perBatch,
-		Model:               model,
-		Dataset:             ds,
-		OptimizerName:       opt,
-		WeightDecay:         1e-5,
-		Schedule:            sched,
-		BNGroupSize:         bnGroup,
-		Precision:           bf16.DefaultPolicy,
-		LabelSmoothing:      0.1,
-		Seed:                seed,
-		DropoutOverride:     0,
-		DropConnectOverride: 0,
-		BNMomentum:          0.9,
-	})
+	tail := train.NewTrailingAccuracy(4)
+	sess, err := train.New(
+		train.WithModel(model),
+		train.WithWorld(world),
+		train.WithPerReplicaBatch(perBatch),
+		train.WithDataset(ds),
+		train.WithOptimizer(opt, 1e-5),
+		sweepSchedule(opt, epochs, larsLR, rmsLR),
+		train.WithBNGroup(bnGroup),
+		train.WithLabelSmoothing(0.1),
+		train.WithSeed(seed),
+		train.WithBNMomentum(0.9),
+		train.WithEpochs(epochs),
+		train.WithEvalEvery(1<<30), // evaluate once, at the end
+		train.WithEvalSamples(64),
+		train.WithCallbacks(tail),
+	)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	total := epochs * eng.StepsPerEpoch()
-	var accSum float64
-	var accN int
-	for s := 0; s < total; s++ {
-		r := eng.Step()
-		if s >= total-4 {
-			accSum += r.Accuracy
-			accN++
-		}
+	res, err := sess.Run()
+	if err != nil {
+		return 0, 0, 0, err
 	}
-	return accSum / float64(accN), eng.Evaluate(64), total, nil
+	return tail.Mean(), res.PeakAccuracy, res.StepsRun, nil
 }

@@ -13,9 +13,9 @@ import (
 	"effnetscale/internal/comm"
 	"effnetscale/internal/data"
 	"effnetscale/internal/metrics"
-	"effnetscale/internal/replica"
 	"effnetscale/internal/schedule"
 	"effnetscale/internal/topology"
+	"effnetscale/internal/train"
 )
 
 func main() {
@@ -32,35 +32,32 @@ func main() {
 		"Real mini-scale training: BN group size vs accuracy (8 replicas × batch 4)",
 		"BN group", "BN batch", "Final train acc", "Val acc")
 	for _, group := range []int{1, 2, 4, 8} {
-		eng, err := replica.New(replica.Config{
-			World:               world,
-			PerReplicaBatch:     perBatch,
-			Model:               "pico",
-			Dataset:             ds,
-			OptimizerName:       "sgd",
-			Schedule:            schedule.Warmup{Epochs: 0.5, Inner: schedule.Constant(0.1)},
-			BNGroupSize:         group,
-			Precision:           bf16.FP32Policy,
-			LabelSmoothing:      0.1,
-			Seed:                5,
-			DropoutOverride:     0,
-			DropConnectOverride: 0,
-			BNMomentum:          0.9,
-		})
+		tail := train.NewTrailingAccuracy(4)
+		sess, err := train.New(
+			train.WithModel("pico"),
+			train.WithWorld(world),
+			train.WithPerReplicaBatch(perBatch),
+			train.WithDataset(ds),
+			train.WithOptimizer("sgd", 0),
+			train.WithSchedule(schedule.Warmup{Epochs: 0.5, Inner: schedule.Constant(0.1)}),
+			train.WithBNGroup(group),
+			train.WithPrecision(bf16.FP32Policy),
+			train.WithLabelSmoothing(0.1),
+			train.WithSeed(5),
+			train.WithBNMomentum(0.9),
+			train.WithEpochs(epochs),
+			train.WithEvalEvery(1<<30), // evaluate once, at the end
+			train.WithEvalSamples(64),
+			train.WithCallbacks(tail),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		total := epochs * eng.StepsPerEpoch()
-		var accSum float64
-		var accN int
-		for s := 0; s < total; s++ {
-			r := eng.Step()
-			if s >= total-4 {
-				accSum += r.Accuracy
-				accN++
-			}
+		res, err := sess.Run()
+		if err != nil {
+			log.Fatal(err)
 		}
-		tab.AddRow(group, group*perBatch, round3(accSum/float64(accN)), round3(eng.Evaluate(64)))
+		tab.AddRow(group, group*perBatch, round3(tail.Mean()), round3(res.PeakAccuracy))
 	}
 	fmt.Print(tab.String())
 

@@ -1,8 +1,8 @@
 // Evalloop demonstrates the paper's §3.3 bottleneck: with TPUEstimator,
 // evaluation runs serially on a dedicated worker, so end-to-end time depends
 // heavily on evaluation; the distributed train+eval loop shards evaluation
-// across all replicas. Both loops are run for real on the mini engine and
-// their evaluation costs compared.
+// across all replicas. Both strategies are pluggable train.EvalStrategy
+// implementations, run for real on the mini engine and compared.
 package main
 
 import (
@@ -12,9 +12,8 @@ import (
 	"effnetscale/internal/bf16"
 	"effnetscale/internal/data"
 	"effnetscale/internal/metrics"
-	"effnetscale/internal/replica"
 	"effnetscale/internal/schedule"
-	"effnetscale/internal/trainloop"
+	"effnetscale/internal/train"
 )
 
 func main() {
@@ -29,43 +28,34 @@ func main() {
 		fmt.Sprintf("Eval-loop ablation (%d replicas, %d epochs, %d eval samples/replica)", world, epochs, evalPer),
 		"Loop", "Peak acc", "Serial eval samples", "Eval wall time", "Total time")
 
-	for _, mode := range []trainloop.LoopMode{trainloop.Distributed, trainloop.Estimator} {
-		eng := newEngine()
-		res := trainloop.Run(trainloop.Config{
-			Engine:                eng,
-			Epochs:                epochs,
-			EvalSamplesPerReplica: evalPer,
-			Mode:                  mode,
-		})
-		tab.AddRow(mode.String(), round3(res.PeakAccuracy), res.EvalSerialSamples,
+	for _, strategy := range []train.EvalStrategy{train.Distributed{}, train.Estimator{}} {
+		sess, err := train.New(
+			train.WithModel("pico"),
+			train.WithWorld(world),
+			train.WithPerReplicaBatch(perBatch),
+			train.WithData(data.MiniConfig(8, 2048, 16)),
+			train.WithOptimizer("sgd", 0),
+			train.WithSchedule(schedule.Constant(0.05)),
+			train.WithPrecision(bf16.FP32Policy),
+			train.WithLabelSmoothing(0.1),
+			train.WithSeed(3),
+			train.WithEpochs(epochs),
+			train.WithEvalSamples(evalPer),
+			train.WithEvalStrategy(strategy),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sess.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab.AddRow(strategy.Name(), round3(res.PeakAccuracy), res.EvalSerialSamples,
 			res.EvalWallTime.Round(1e6), res.TotalTime.Round(1e6))
 	}
 	fmt.Print(tab.String())
 	fmt.Printf("\nThe Estimator loop pushes %d× more evaluation work through a single\n", world)
 	fmt.Println("worker per eval — the §3.3 bottleneck the distributed loop removes.")
-}
-
-func newEngine() *replica.Engine {
-	ds := data.New(data.MiniConfig(8, 2048, 16))
-	eng, err := replica.New(replica.Config{
-		World:               8,
-		PerReplicaBatch:     8,
-		Model:               "pico",
-		Dataset:             ds,
-		OptimizerName:       "sgd",
-		Schedule:            schedule.Constant(0.05),
-		BNGroupSize:         1,
-		Precision:           bf16.FP32Policy,
-		LabelSmoothing:      0.1,
-		Seed:                3,
-		DropoutOverride:     0,
-		DropConnectOverride: 0,
-		BNMomentum:          0.9,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	return eng
 }
 
 func round3(v float64) float64 { return float64(int(v*1000+0.5)) / 1000 }

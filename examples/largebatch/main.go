@@ -1,18 +1,18 @@
 // Largebatch reproduces the paper's §3.1 story at laptop scale: with a fixed
 // sample budget, RMSProp's accuracy degrades as the global batch grows while
 // LARS (with the linear LR scaling rule and warmup) holds up much better.
-// This is the real-training counterpart of Table 2's optimizer comparison.
+// This is the real-training counterpart of Table 2's optimizer comparison,
+// one train.Session per grid cell.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"effnetscale/internal/bf16"
 	"effnetscale/internal/data"
 	"effnetscale/internal/metrics"
-	"effnetscale/internal/replica"
 	"effnetscale/internal/schedule"
+	"effnetscale/internal/train"
 )
 
 func main() {
@@ -40,54 +40,43 @@ func main() {
 
 func run(ds *data.Dataset, opt string, globalBatch, epochs int) (trainAcc, valAcc float64, steps int) {
 	const world = 4
-	perBatch := globalBatch / world
 
-	var sched schedule.Schedule
-	switch opt {
-	case "rmsprop":
-		// EfficientNet-style: a small per-256 LR linearly scaled with the
-		// batch (the §3.2 rule), short warmup, exponential decay. The
-		// linear rule is exactly what breaks RMSProp at large batch.
-		peak := schedule.ScaledLR(0.1, globalBatch)
-		sched = schedule.Warmup{Epochs: 0.5, Inner: schedule.Exponential{Peak: peak, Rate: 0.97, DecayEpochs: 2.4, Staircase: true}}
-	default:
-		// LARS: a large, roughly batch-independent *global* LR (mirroring
-		// the paper's LARS rows, whose per-256 LR halves as batch doubles),
-		// warmup, polynomial decay — the large-batch recipe of §3.1–3.2.
-		sched = schedule.Warmup{Epochs: 1, Inner: schedule.Polynomial{Peak: 10, End: 0, TotalEpochs: float64(epochs), Power: 2}}
+	// RMSProp follows the §3.2 linear scaling rule — exactly what breaks it
+	// at large batch. LARS gets a large, roughly batch-independent *global*
+	// LR (mirroring the paper's LARS rows, whose per-256 LR halves as batch
+	// doubles), warmup, polynomial decay — the large-batch recipe of §3.1–3.2.
+	var sched train.Option
+	if opt == "rmsprop" {
+		sched = train.WithLinearScaling(0.1, 0.5, train.ExponentialDecay)
+	} else {
+		sched = train.WithSchedule(schedule.Warmup{Epochs: 1, Inner: schedule.Polynomial{Peak: 10, End: 0, TotalEpochs: float64(epochs), Power: 2}})
 	}
 
-	eng, err := replica.New(replica.Config{
-		World:               world,
-		PerReplicaBatch:     perBatch,
-		Model:               "pico",
-		Dataset:             ds,
-		OptimizerName:       opt,
-		WeightDecay:         1e-5,
-		Schedule:            sched,
-		BNGroupSize:         world,
-		Precision:           bf16.DefaultPolicy,
-		LabelSmoothing:      0.1,
-		Seed:                7,
-		DropoutOverride:     0,
-		DropConnectOverride: 0,
-		BNMomentum:          0.9,
-	})
+	tail := train.NewTrailingAccuracy(4)
+	sess, err := train.New(
+		train.WithModel("pico"),
+		train.WithWorld(world),
+		train.WithPerReplicaBatch(globalBatch/world),
+		train.WithDataset(ds),
+		train.WithOptimizer(opt, 1e-5),
+		sched,
+		train.WithBNGroupAll(),
+		train.WithLabelSmoothing(0.1),
+		train.WithSeed(7),
+		train.WithBNMomentum(0.9),
+		train.WithEpochs(epochs),
+		train.WithEvalEvery(1<<30), // evaluate once, at the end
+		train.WithEvalSamples(64),
+		train.WithCallbacks(tail),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	total := epochs * eng.StepsPerEpoch()
-	var accSum float64
-	var accN int
-	for s := 0; s < total; s++ {
-		r := eng.Step()
-		if s >= total-4 { // average the last few training batches
-			accSum += r.Accuracy
-			accN++
-		}
+	res, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
 	}
-	return accSum / float64(accN), eng.Evaluate(64), total
+	return tail.Mean(), res.PeakAccuracy, res.StepsRun
 }
 
 func round3(v float64) float64 { return float64(int(v*1000+0.5)) / 1000 }

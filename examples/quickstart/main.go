@@ -2,67 +2,39 @@
 // replicas with the paper's full recipe — LARS, linear LR scaling, warmup +
 // polynomial decay, distributed batch norm, bf16 convolutions and the
 // distributed train+eval loop — in under a minute on a laptop.
+//
+// The whole composition is one preset on the train.Session API; every choice
+// can be overridden by a later option (train.WithEpochs, train.WithModel,
+// train.WithData, ...).
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"effnetscale/internal/bf16"
-	"effnetscale/internal/data"
-	"effnetscale/internal/replica"
-	"effnetscale/internal/schedule"
-	"effnetscale/internal/trainloop"
+	"effnetscale/internal/train"
 )
 
 func main() {
-	// A small, learnable synthetic stand-in for ImageNet (see DESIGN.md).
-	ds := data.New(data.MiniConfig(8, 2048, 32))
-
-	const (
-		replicas = 4
-		perBatch = 16
-		epochs   = 8
+	sess, err := train.New(
+		train.MiniRecipe(), // EfficientNet-Pico, 4 replicas × batch 16, LARS + poly decay
+		train.WithCallbacks(train.Progress(func(s string) { fmt.Println(s) })),
 	)
-	globalBatch := replicas * perBatch
-
-	eng, err := replica.New(replica.Config{
-		World:           replicas,
-		PerReplicaBatch: perBatch,
-		Model:           "pico",
-		Dataset:         ds,
-		OptimizerName:   "lars",
-		WeightDecay:     1e-5,
-		// Linear scaling rule + warmup + polynomial decay (§3.2). LARS
-		// wants a large nominal LR — its layer-wise trust ratios scale
-		// every update down (≈40·64/256 = global LR 10 here).
-		Schedule:            schedule.LARSPreset(40, globalBatch, 2, epochs),
-		BNGroupSize:         4, // distributed batch norm over all replicas (§3.4)
-		Precision:           bf16.DefaultPolicy,
-		LabelSmoothing:      0.1,
-		Seed:                42,
-		DropoutOverride:     -1,
-		DropConnectOverride: -1,
-		BNMomentum:          0.9,
-	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("quickstart: EfficientNet-Pico, %d replicas × batch %d (global %d), LARS + poly decay\n",
-		replicas, perBatch, globalBatch)
+	fmt.Printf("quickstart: EfficientNet-Pico, %d replicas (global batch %d), LARS + poly decay\n",
+		sess.Engine().World(), sess.GlobalBatch())
 
-	res := trainloop.Run(trainloop.Config{
-		Engine:                eng,
-		Epochs:                epochs,
-		EvalSamplesPerReplica: 64,
-		Mode:                  trainloop.Distributed,
-		Progress:              func(s string) { fmt.Println(s) },
-	})
+	res, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("\npeak top-1 accuracy %.4f (chance %.3f) in %v\n",
 		res.PeakAccuracy, 1.0/8, res.TimeToPeak.Round(1e6))
-	if sync := eng.WeightsInSync(); sync != "" {
+	if sync := sess.Engine().WeightsInSync(); sync != "" {
 		log.Fatalf("replicas out of sync: %s", sync)
 	}
 	fmt.Println("replicas verified bitwise in sync ✓")

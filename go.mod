@@ -1,0 +1,3 @@
+module effnetscale
+
+go 1.24

@@ -166,8 +166,8 @@ func (o *LARS) Name() string { return "lars" }
 // TrustRatio computes the layer-wise adaptation factor for a parameter with
 // the given weight and gradient norms. Exposed for tests and analysis.
 func (o *LARS) TrustRatio(wNorm, gNorm float64) float64 {
-	denom := gNorm + o.WeightDecay*wNorm + o.Eps
-	if wNorm == 0 || denom == 0 {
+	denom := gNorm + o.WeightDecay*wNorm
+	if wNorm == 0 || denom <= o.Eps {
 		return 1
 	}
 	return o.Eta * wNorm / denom

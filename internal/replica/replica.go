@@ -408,6 +408,52 @@ func (e *Engine) Evaluate(maxSamplesPerReplica int) float64 {
 	return accs[0]
 }
 
+// ValLen returns the size of this replica's validation shard — the serial
+// evaluation work one worker performs in the sharded loop.
+func (r *Replica) ValLen() int { return r.val.Len() }
+
+// EvaluateSerial scores up to maxSamples validation images (0 = the whole
+// split) on replica 0 alone while every other replica idles — the
+// serialized-evaluation structure of TPUEstimator (§3.3). It scores the same
+// model Evaluate would: EMA shadow weights when enabled, eval mode, the
+// training precision policy. Returns the accuracy and the number of images
+// actually scored.
+func (e *Engine) EvaluateSerial(maxSamples int) (float64, int) {
+	r := e.replicas[0]
+	if r.ema != nil && r.ema.Steps() > 0 {
+		r.ema.Swap(r.Model.Params())
+		defer r.ema.Swap(r.Model.Params())
+	}
+	shard := data.NewShard(r.train.D, 1, 0, 1) // the whole validation split
+	n := shard.Len()
+	if maxSamples > 0 && maxSamples < n {
+		n = maxSamples
+	}
+	bs := r.batch.Dim(0)
+	ctx := &nn.Ctx{Training: false, Precision: r.ctx.Precision}
+	correct, total := 0, 0
+	for lo := 0; lo < n; lo += bs {
+		cnt := bs
+		if lo+cnt > n {
+			cnt = n - lo
+		}
+		// Reuse the full batch tensor; only the first cnt entries count.
+		shard.FillBatch(0, lo/bs, r.batch, r.labels)
+		logits := r.Model.Forward(ctx, autograd.Constant(r.batch))
+		pred := autograd.Argmax(logits.T)
+		for i := 0; i < cnt; i++ {
+			if pred[i] == r.labels[i] {
+				correct++
+			}
+		}
+		total += cnt
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(correct) / float64(total), total
+}
+
 func (r *Replica) evaluate(maxSamples int) float64 {
 	// Evaluate the EMA ("shadow") weights when enabled, as the reference
 	// EfficientNet setup does; swap back afterwards.

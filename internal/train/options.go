@@ -1,0 +1,428 @@
+package train
+
+import (
+	"fmt"
+
+	"effnetscale/internal/bf16"
+	"effnetscale/internal/data"
+	"effnetscale/internal/schedule"
+	"effnetscale/internal/topology"
+)
+
+// Option configures a Session. Options are applied in order, so later
+// options override earlier ones — presets first, overrides after:
+//
+//	train.New(train.MiniRecipe(), train.WithEpochs(3))
+type Option func(*config) error
+
+// Decay names an LR decay family for WithLinearScaling.
+type Decay string
+
+// The decay families of §3.2: polynomial for the LARS rows of Table 2,
+// exponential (staircase ×0.97 / 2.4 epochs) for the RMSProp rows.
+const (
+	PolynomialDecay  Decay = "polynomial"
+	ExponentialDecay Decay = "exponential"
+	CosineDecay      Decay = "cosine"
+	ConstantDecay    Decay = "constant"
+)
+
+// DecayByName converts a flag string into a Decay, erroring on unknowns.
+func DecayByName(name string) (Decay, error) {
+	switch d := Decay(name); d {
+	case PolynomialDecay, ExponentialDecay, CosineDecay, ConstantDecay:
+		return d, nil
+	default:
+		return "", fmt.Errorf("train: unknown decay %q (want polynomial, exponential, cosine, constant)", name)
+	}
+}
+
+// bnGroupWorld marks "BN group spans the whole world", resolved once the
+// world size is known.
+const bnGroupWorld = -1
+
+// config accumulates option state until New validates and builds the engine.
+type config struct {
+	model           string
+	dataset         *data.Dataset
+	world           int
+	perReplicaBatch int
+	gradAccum       int
+	optimizer       string
+	weightDecay     float64
+	// scheduleFn defers schedule construction until the global batch and
+	// epoch count are known — what lets presets express the §3.2 linear
+	// scaling rule without knowing the final world size.
+	scheduleFn     func(globalBatch int, epochs int) schedule.Schedule
+	bnGroup        int
+	slice          topology.Slice
+	precision      bf16.Policy
+	labelSmoothing float64
+	seed           int64
+	dropout        float64
+	dropConnect    float64
+	augment        bool
+	bnMomentum     float64
+	emaDecay       float64
+
+	epochs      int
+	evalEvery   int
+	evalSamples int
+	targetAcc   float64
+	strategy    EvalStrategy
+	callbacks   []Callback
+}
+
+func defaultConfig() *config {
+	return &config{
+		model:           "pico",
+		world:           1,
+		perReplicaBatch: 32,
+		gradAccum:       1,
+		optimizer:       "sgd",
+		scheduleFn: func(int, int) schedule.Schedule {
+			return schedule.Constant(0.05)
+		},
+		bnGroup:     1,
+		precision:   bf16.DefaultPolicy,
+		seed:        42,
+		augment:     true,
+		bnMomentum:  0.9,
+		epochs:      1,
+		evalSamples: 64,
+		strategy:    Distributed{},
+	}
+}
+
+// Options combines several options into one — the building block presets are
+// made of.
+func Options(opts ...Option) Option {
+	return func(c *config) error {
+		for _, opt := range opts {
+			if opt == nil {
+				continue
+			}
+			if err := opt(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// WithModel selects the EfficientNet variant (pico, nano, micro, b0..b7).
+func WithModel(name string) Option {
+	return func(c *config) error {
+		if name == "" {
+			return fmt.Errorf("train: model name must not be empty")
+		}
+		c.model = name
+		return nil
+	}
+}
+
+// WithDataset provides the (sharded) training and validation data.
+func WithDataset(ds *data.Dataset) Option {
+	return func(c *config) error {
+		if ds == nil {
+			return fmt.Errorf("train: dataset must not be nil")
+		}
+		c.dataset = ds
+		return nil
+	}
+}
+
+// WithData builds a SynthImageNet dataset from cfg and uses it.
+func WithData(cfg data.Config) Option {
+	return func(c *config) error {
+		c.dataset = data.New(cfg)
+		return nil
+	}
+}
+
+// WithWorld sets the number of data-parallel replicas.
+func WithWorld(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("train: world %d must be >= 1", n)
+		}
+		c.world = n
+		return nil
+	}
+}
+
+// WithPerReplicaBatch sets each replica's local batch size.
+func WithPerReplicaBatch(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("train: per-replica batch %d must be >= 1", n)
+		}
+		c.perReplicaBatch = n
+		return nil
+	}
+}
+
+// WithGradAccum runs n micro-batches per replica per global step,
+// accumulating gradients locally before the all-reduce — the effective
+// global batch grows ×n without growing per-replica memory.
+func WithGradAccum(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("train: grad-accum steps %d must be >= 1", n)
+		}
+		c.gradAccum = n
+		return nil
+	}
+}
+
+// WithOptimizer selects the optimizer by name (sgd, rmsprop, lars, adam,
+// lamb, sm3) with the given L2 weight decay.
+func WithOptimizer(name string, weightDecay float64) Option {
+	return func(c *config) error {
+		if name == "" {
+			return fmt.Errorf("train: optimizer name must not be empty")
+		}
+		if weightDecay < 0 {
+			return fmt.Errorf("train: weight decay %g must be >= 0", weightDecay)
+		}
+		c.optimizer = name
+		c.weightDecay = weightDecay
+		return nil
+	}
+}
+
+// WithSchedule uses an explicit LR schedule, bypassing the linear scaling
+// rule.
+func WithSchedule(s schedule.Schedule) Option {
+	return func(c *config) error {
+		if s == nil {
+			return fmt.Errorf("train: schedule must not be nil")
+		}
+		c.scheduleFn = func(int, int) schedule.Schedule { return s }
+		return nil
+	}
+}
+
+// WithLinearScaling applies the §3.2 recipe: a base LR per 256 samples
+// scaled linearly by the global batch, linear warmup over warmupEpochs, then
+// the chosen decay to the end of training.
+func WithLinearScaling(lrPer256, warmupEpochs float64, decay Decay) Option {
+	return func(c *config) error {
+		if lrPer256 <= 0 {
+			return fmt.Errorf("train: lr-per-256 %g must be > 0", lrPer256)
+		}
+		if warmupEpochs < 0 {
+			return fmt.Errorf("train: warmup epochs %g must be >= 0", warmupEpochs)
+		}
+		if _, err := DecayByName(string(decay)); err != nil {
+			return err
+		}
+		c.scheduleFn = func(globalBatch, epochs int) schedule.Schedule {
+			peak := schedule.ScaledLR(lrPer256, globalBatch)
+			var inner schedule.Schedule
+			switch decay {
+			case ExponentialDecay:
+				inner = schedule.Exponential{Peak: peak, Rate: 0.97, DecayEpochs: 2.4, Staircase: true}
+			case CosineDecay:
+				inner = schedule.Cosine{Peak: peak, TotalEpochs: float64(epochs)}
+			case ConstantDecay:
+				inner = schedule.Constant(peak)
+			default:
+				inner = schedule.Polynomial{Peak: peak, End: 0, TotalEpochs: float64(epochs), Power: 2}
+			}
+			return schedule.Warmup{Epochs: warmupEpochs, Inner: inner}
+		}
+		return nil
+	}
+}
+
+// WithBNGroup sets the distributed batch-norm group size (1 = local BN).
+// Must divide the world size.
+func WithBNGroup(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("train: BN group size %d must be >= 1", n)
+		}
+		c.bnGroup = n
+		return nil
+	}
+}
+
+// WithBNGroupAll spans the batch-norm group over all replicas, whatever the
+// world size turns out to be.
+func WithBNGroupAll() Option {
+	return func(c *config) error {
+		c.bnGroup = bnGroupWorld
+		return nil
+	}
+}
+
+// WithSlice sets the TPU slice used for 2-D BN group tiling (§3.4).
+func WithSlice(s topology.Slice) Option {
+	return func(c *config) error {
+		c.slice = s
+		return nil
+	}
+}
+
+// WithPrecision sets the mixed-precision policy (bf16 convolutions by
+// default, as in the paper's §3.5).
+func WithPrecision(p bf16.Policy) Option {
+	return func(c *config) error {
+		c.precision = p
+		return nil
+	}
+}
+
+// WithLabelSmoothing sets softmax cross-entropy label smoothing
+// (EfficientNet uses 0.1).
+func WithLabelSmoothing(eps float64) Option {
+	return func(c *config) error {
+		if eps < 0 || eps >= 1 {
+			return fmt.Errorf("train: label smoothing %g must be in [0, 1)", eps)
+		}
+		c.labelSmoothing = eps
+		return nil
+	}
+}
+
+// WithSeed fixes model init and per-replica RNG streams.
+func WithSeed(seed int64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithDropout overrides the model's dropout and stochastic-depth rates.
+// Pass ModelDefaultRate to keep the model family's published rates (the
+// PaperRecipe/MiniRecipe choice). Sessions built without this option run
+// with both rates at 0 — the right default for short deterministic
+// mini-scale runs.
+func WithDropout(dropout, dropConnect float64) Option {
+	return func(c *config) error {
+		c.dropout = dropout
+		c.dropConnect = dropConnect
+		return nil
+	}
+}
+
+// ModelDefaultRate keeps the model family's published dropout /
+// drop-connect rate when passed to WithDropout.
+const ModelDefaultRate = -1
+
+// WithoutAugmentation disables training-time data augmentation (needed by
+// determinism tests where per-replica augmentation RNGs would diverge).
+func WithoutAugmentation() Option {
+	return func(c *config) error {
+		c.augment = false
+		return nil
+	}
+}
+
+// WithBNMomentum overrides the batch-norm running-statistics EMA decay.
+// Short mini-scale runs want ~0.9; the TF full-scale default is 0.99.
+func WithBNMomentum(m float64) Option {
+	return func(c *config) error {
+		if m < 0 || m >= 1 {
+			return fmt.Errorf("train: BN momentum %g must be in [0, 1)", m)
+		}
+		c.bnMomentum = m
+		return nil
+	}
+}
+
+// WithEMA maintains an exponential moving average of the weights and
+// evaluates the EMA weights, as the reference EfficientNet setup does.
+func WithEMA(decay float64) Option {
+	return func(c *config) error {
+		if decay <= 0 || decay >= 1 {
+			return fmt.Errorf("train: EMA decay %g must be in (0, 1)", decay)
+		}
+		c.emaDecay = decay
+		return nil
+	}
+}
+
+// WithEpochs bounds training length.
+func WithEpochs(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("train: epochs %d must be >= 1", n)
+		}
+		c.epochs = n
+		return nil
+	}
+}
+
+// WithEvalEvery sets the evaluation cadence in steps (0 = once per epoch).
+// The final step always evaluates.
+func WithEvalEvery(steps int) Option {
+	return func(c *config) error {
+		if steps < 0 {
+			return fmt.Errorf("train: eval cadence %d must be >= 0", steps)
+		}
+		c.evalEvery = steps
+		return nil
+	}
+}
+
+// WithEvalSamples caps per-replica evaluation work (0 = full shard).
+func WithEvalSamples(perReplica int) Option {
+	return func(c *config) error {
+		if perReplica < 0 {
+			return fmt.Errorf("train: eval samples %d must be >= 0", perReplica)
+		}
+		c.evalSamples = perReplica
+		return nil
+	}
+}
+
+// WithTarget stops training early once evaluation accuracy reaches target
+// (0 disables). Implemented as a StopAtAccuracy callback over the loop.
+func WithTarget(acc float64) Option {
+	return func(c *config) error {
+		if acc < 0 || acc > 1 {
+			return fmt.Errorf("train: target accuracy %g must be in [0, 1]", acc)
+		}
+		c.targetAcc = acc
+		return nil
+	}
+}
+
+// WithEvalStrategy selects the evaluation strategy (Distributed by default).
+func WithEvalStrategy(s EvalStrategy) Option {
+	return func(c *config) error {
+		if s == nil {
+			return fmt.Errorf("train: eval strategy must not be nil")
+		}
+		c.strategy = s
+		return nil
+	}
+}
+
+// WithCallbacks appends callbacks; they fire in registration order.
+func WithCallbacks(cbs ...Callback) Option {
+	return func(c *config) error {
+		for _, cb := range cbs {
+			if cb == nil {
+				return fmt.Errorf("train: callback must not be nil")
+			}
+			c.callbacks = append(c.callbacks, cb)
+		}
+		return nil
+	}
+}
+
+// WithBestCheckpoint saves replica 0's model to path after every evaluation
+// that improves on the best accuracy so far. Save failures do not abort
+// training; they surface in Result.CheckpointErrors.
+func WithBestCheckpoint(path string) Option {
+	return func(c *config) error {
+		if path == "" {
+			return fmt.Errorf("train: checkpoint path must not be empty")
+		}
+		c.callbacks = append(c.callbacks, BestCheckpoint(path))
+		return nil
+	}
+}

@@ -1,0 +1,45 @@
+package train
+
+import (
+	"effnetscale/internal/replica"
+	"effnetscale/internal/trainloop"
+)
+
+// EvalStrategy scores the model during training. The two §3.3 loop
+// structures the paper contrasts ship as Distributed and Estimator; new
+// strategies (async eval, sampled eval, EMA-weights eval) are additive —
+// implement the interface and pass it to WithEvalStrategy.
+type EvalStrategy = trainloop.Evaluator
+
+// Distributed shards evaluation across all replicas — the Kumar et al.
+// train+eval loop the paper adopts (§3.3). Each worker scores
+// samplesPerReplica images of its validation shard and the correct/total
+// counts are all-reduced.
+type Distributed struct{}
+
+// Name implements EvalStrategy.
+func (Distributed) Name() string { return "distributed" }
+
+// Evaluate implements EvalStrategy.
+func (Distributed) Evaluate(e *replica.Engine, samplesPerReplica int) (float64, int) {
+	serial := e.Replica(0).ValLen()
+	if samplesPerReplica > 0 && samplesPerReplica < serial {
+		serial = samplesPerReplica
+	}
+	return e.Evaluate(samplesPerReplica), serial
+}
+
+// Estimator evaluates the validation split on replica 0 only while every
+// other replica idles, modelling TPUEstimator's separate evaluation-worker
+// bottleneck (§3.3). It targets the same total sample count as Distributed —
+// samplesPerReplica × world — but processes it serially on one worker, with
+// the same model Distributed would score (EMA weights, training precision).
+type Estimator struct{}
+
+// Name implements EvalStrategy.
+func (Estimator) Name() string { return "estimator" }
+
+// Evaluate implements EvalStrategy.
+func (Estimator) Evaluate(e *replica.Engine, samplesPerReplica int) (float64, int) {
+	return e.EvaluateSerial(samplesPerReplica * e.World())
+}

@@ -1,0 +1,209 @@
+// Package train is the one way to assemble and run a training job: a
+// composable public API over the replica engine and the trainloop step
+// engine. A Session is built from functional options (validated eagerly, no
+// panics), observed through Callback hooks, and evaluated through a
+// pluggable EvalStrategy — the composition of mechanisms behind the paper's
+// headline result (LARS, linear LR scaling + warmup, distributed batch norm,
+// bf16, and the distributed train+eval loop of §3.3) becomes one-option-away
+// instead of one-copied-main-away:
+//
+//	sess, err := train.New(
+//	    train.MiniRecipe(),                 // the paper recipe at laptop scale
+//	    train.WithEpochs(3),                // override anything after a preset
+//	    train.WithCallbacks(train.Progress(func(s string) { fmt.Println(s) })),
+//	)
+//	if err != nil { ... }
+//	res, err := sess.Run()
+package train
+
+import (
+	"fmt"
+
+	"effnetscale/internal/checkpoint"
+	"effnetscale/internal/replica"
+	"effnetscale/internal/schedule"
+	"effnetscale/internal/trainloop"
+)
+
+// EvalPoint is one evaluation snapshot (re-exported from the loop engine).
+type EvalPoint = trainloop.EvalPoint
+
+// Result summarizes a finished run.
+type Result struct {
+	*trainloop.Result
+	// ReachedGoal reports that a StopAtAccuracy callback (WithTarget) ended
+	// the run at its target accuracy.
+	ReachedGoal bool
+	// CheckpointsSaved counts successful checkpoint writes.
+	CheckpointsSaved int
+	// CheckpointErrors collects checkpoint-save failures. Saving never
+	// aborts training, but the failures are first-class results — not
+	// whispers through a progress log.
+	CheckpointErrors []error
+}
+
+// Session is an assembled training job: a validated configuration, a live
+// replica engine, and the callbacks and evaluation strategy that observe it.
+type Session struct {
+	cfg       *config
+	eng       *replica.Engine
+	sched     schedule.Schedule
+	callbacks []Callback
+
+	stop bool
+	cur  *Result
+}
+
+// New validates opts eagerly and assembles the engine. All configuration
+// errors — unknown model or optimizer, a BN group that does not divide the
+// world, a missing dataset — surface here, before any training work.
+func New(opts ...Option) (*Session, error) {
+	c := defaultConfig()
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("train: nil Option")
+		}
+		if err := opt(c); err != nil {
+			return nil, err
+		}
+	}
+	if c.dataset == nil {
+		return nil, fmt.Errorf("train: a dataset is required (use WithDataset, WithData, or a preset)")
+	}
+	bnGroup := c.bnGroup
+	if bnGroup == bnGroupWorld {
+		bnGroup = c.world
+	}
+	if c.world%bnGroup != 0 {
+		return nil, fmt.Errorf("train: BN group size %d does not divide world %d", bnGroup, c.world)
+	}
+	globalBatch := c.world * c.perReplicaBatch * c.gradAccum
+	sched := c.scheduleFn(globalBatch, c.epochs)
+
+	eng, err := replica.New(replica.Config{
+		World:               c.world,
+		PerReplicaBatch:     c.perReplicaBatch,
+		Model:               c.model,
+		Dataset:             c.dataset,
+		OptimizerName:       c.optimizer,
+		WeightDecay:         c.weightDecay,
+		Schedule:            sched,
+		BNGroupSize:         bnGroup,
+		Slice:               c.slice,
+		Precision:           c.precision,
+		LabelSmoothing:      float32(c.labelSmoothing),
+		Seed:                c.seed,
+		DropoutOverride:     c.dropout,
+		DropConnectOverride: c.dropConnect,
+		NoAugment:           !c.augment,
+		BNMomentum:          c.bnMomentum,
+		GradAccumSteps:      c.gradAccum,
+		EMADecay:            c.emaDecay,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+
+	s := &Session{cfg: c, eng: eng, sched: sched, callbacks: c.callbacks}
+	if c.targetAcc > 0 {
+		s.callbacks = append(s.callbacks, StopAtAccuracy(c.targetAcc))
+	}
+	return s, nil
+}
+
+// Engine exposes the underlying replica engine for direct inspection
+// (WeightsInSync, Replica, StepsPerEpoch, ...).
+func (s *Session) Engine() *replica.Engine { return s.eng }
+
+// GlobalBatch returns the effective global batch size.
+func (s *Session) GlobalBatch() int { return s.eng.GlobalBatch() }
+
+// Schedule returns the resolved LR schedule (after linear scaling).
+func (s *Session) Schedule() schedule.Schedule { return s.sched }
+
+// Strategy returns the configured evaluation strategy.
+func (s *Session) Strategy() EvalStrategy { return s.cfg.strategy }
+
+// Stop requests that the run end after the current step. Safe to call from
+// callbacks; outside callbacks it takes effect at the next step boundary.
+func (s *Session) Stop() { s.stop = true }
+
+// markGoal records that an accuracy target was reached (see StopAtAccuracy).
+func (s *Session) markGoal() {
+	if s.cur != nil {
+		s.cur.ReachedGoal = true
+	}
+}
+
+// NotifyCheckpoint records a checkpoint save attempt on the current Result
+// and broadcasts it to every callback's OnCheckpoint. Callbacks that write
+// checkpoints call this so failures become first-class run results.
+func (s *Session) NotifyCheckpoint(path string, err error) {
+	if s.cur != nil {
+		if err != nil {
+			s.cur.CheckpointErrors = append(s.cur.CheckpointErrors, err)
+		} else {
+			s.cur.CheckpointsSaved++
+		}
+	}
+	for _, cb := range s.callbacks {
+		cb.OnCheckpoint(s, path, err)
+	}
+}
+
+// LoadCheckpoint restores a saved model into every replica, so training
+// resumes with the replicas bitwise in sync.
+func (s *Session) LoadCheckpoint(path string) error {
+	for r := 0; r < s.eng.World(); r++ {
+		if err := checkpoint.LoadFile(path, s.eng.Replica(r).Model); err != nil {
+			return fmt.Errorf("train: load checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// SaveCheckpoint writes replica 0's model to path (atomic write).
+func (s *Session) SaveCheckpoint(path string) error {
+	if err := checkpoint.SaveFile(path, s.eng.Replica(0).Model); err != nil {
+		return fmt.Errorf("train: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Run drives the trainloop engine to completion under the configured
+// callbacks and evaluation strategy. Run may be called again to continue
+// training the same weights for another round of epochs.
+func (s *Session) Run() (*Result, error) {
+	s.stop = false
+	s.cur = &Result{}
+	loopRes, err := trainloop.Run(trainloop.Config{
+		Engine:                s.eng,
+		Epochs:                s.cfg.epochs,
+		EvalEverySteps:        s.cfg.evalEvery,
+		EvalSamplesPerReplica: s.cfg.evalSamples,
+		Evaluator:             s.cfg.strategy,
+		Stop:                  func() bool { return s.stop },
+		Hooks: trainloop.Hooks{
+			OnStep: func(step int, res replica.StepResult) {
+				for _, cb := range s.callbacks {
+					cb.OnStep(s, step, res)
+				}
+			},
+			OnEval: func(pt EvalPoint) {
+				for _, cb := range s.callbacks {
+					cb.OnEval(s, pt)
+				}
+			},
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+	res := s.cur
+	res.Result = loopRes
+	for _, cb := range s.callbacks {
+		cb.OnEnd(s, res)
+	}
+	s.cur = nil
+	return res, nil
+}

@@ -1,45 +1,45 @@
-// Package trainloop implements the two training-and-evaluation loop
-// structures the paper contrasts in §3.3:
+// Package trainloop is the thin step/evaluate engine under the public
+// train.Session API. It advances a replica.Engine through a fixed number of
+// epochs, runs a pluggable evaluation strategy on a configurable cadence, and
+// records the accuracy trajectory — in particular the peak top-1 accuracy and
+// the wall-clock time at which it is reached, exactly the quantity plotted in
+// the paper's Figure 1.
 //
-//   - EstimatorLoop — the TPUEstimator baseline, where evaluation runs
-//     serially on a single dedicated worker while the training replicas
-//     idle. End-to-end time then depends heavily on evaluation time.
-//   - DistributedLoop — the Kumar et al. loop the paper adopts, where both
-//     training and evaluation steps are sharded across all replicas.
-//
-// The loop tracks peak top-1 accuracy and the wall-clock time at which it is
-// reached, which is exactly the quantity plotted in the paper's Figure 1.
+// Policy — progress logging, checkpointing, early stopping, metrics emission
+// — lives above this package: callers observe the loop through Hooks and
+// interrupt it through Stop. The paper's two loop structures from §3.3
+// (the sharded distributed train+eval loop versus TPUEstimator's serialized
+// evaluation worker) are Evaluator implementations provided by the train
+// package.
 package trainloop
 
 import (
 	"fmt"
 	"time"
 
-	"effnetscale/internal/autograd"
-	"effnetscale/internal/checkpoint"
-	"effnetscale/internal/data"
-	"effnetscale/internal/nn"
 	"effnetscale/internal/replica"
-	"effnetscale/internal/tensor"
 )
 
-// LoopMode selects the evaluation strategy.
-type LoopMode int
+// Evaluator is the pluggable evaluation strategy seam. Implementations score
+// the engine's current model and report both the accuracy and the number of
+// evaluation samples processed serially by the busiest worker — the
+// deterministic measure of the §3.3 evaluation bottleneck.
+type Evaluator interface {
+	// Name identifies the strategy in logs and tables.
+	Name() string
+	// Evaluate scores the model. samplesPerReplica caps the per-replica
+	// evaluation work (0 = full shard); serial is the sample count the
+	// busiest single worker processed.
+	Evaluate(e *replica.Engine, samplesPerReplica int) (acc float64, serial int)
+}
 
-const (
-	// Distributed shards evaluation across all replicas (§3.3).
-	Distributed LoopMode = iota
-	// Estimator evaluates the full validation split on replica 0 only,
-	// modelling TPUEstimator's separate-evaluation-worker bottleneck.
-	Estimator
-)
-
-// String names the mode.
-func (m LoopMode) String() string {
-	if m == Estimator {
-		return "estimator"
-	}
-	return "distributed"
+// Hooks receive loop events. Nil fields are skipped. Hooks run synchronously
+// on the loop goroutine, so a slow hook slows training.
+type Hooks struct {
+	// OnStep fires after every global training step (1-based index).
+	OnStep func(step int, res replica.StepResult)
+	// OnEval fires after every evaluation, once the point is recorded.
+	OnEval func(pt EvalPoint)
 }
 
 // Config drives Run.
@@ -47,21 +47,19 @@ type Config struct {
 	Engine *replica.Engine
 	// Epochs bounds training length.
 	Epochs int
-	// EvalEverySteps is the evaluation cadence (0 = once per epoch).
+	// EvalEverySteps is the evaluation cadence (0 = once per epoch). The
+	// final step always evaluates regardless of cadence.
 	EvalEverySteps int
-	// EvalSamplesPerReplica caps eval work in Distributed mode; Estimator
-	// mode scales it by the world size so both modes score the same total
-	// sample count per evaluation.
+	// EvalSamplesPerReplica caps per-replica eval work (0 = full shard).
 	EvalSamplesPerReplica int
-	// TargetAccuracy stops training early when reached (0 = run all epochs).
-	TargetAccuracy float64
-	// Mode selects the evaluation structure.
-	Mode LoopMode
-	// Progress, if non-nil, receives one line per evaluation.
-	Progress func(string)
-	// CheckpointPath, when set, saves replica 0's model there after every
-	// evaluation that improves on the best accuracy so far (atomic write).
-	CheckpointPath string
+	// Evaluator is the evaluation strategy (required).
+	Evaluator Evaluator
+	// Hooks observe the loop.
+	Hooks Hooks
+	// Stop, when non-nil, is polled after every step; returning true ends
+	// the run early (Result.Stopped is set). A final evaluation is NOT
+	// forced — the caller decided it has seen enough.
+	Stop func() bool
 }
 
 // EvalPoint is one evaluation snapshot.
@@ -83,19 +81,24 @@ type Result struct {
 	StepsRun   int
 	// EvalSerialSamples counts evaluation samples processed serially by the
 	// busiest worker — the deterministic measure of the §3.3 bottleneck
-	// (Estimator mode processes world× more than Distributed mode).
+	// (the Estimator strategy processes world× more than Distributed).
 	EvalSerialSamples int
 	// EvalWallTime accumulates wall-clock time spent in evaluation.
 	EvalWallTime time.Duration
-	ReachedGoal  bool
-	// CheckpointsSaved counts best-so-far checkpoints written.
-	CheckpointsSaved int
+	// Stopped reports that Config.Stop ended the run before all epochs.
+	Stopped bool
 }
 
 // Run trains the engine under the configured loop and returns the history.
-func Run(cfg Config) *Result {
+func Run(cfg Config) (*Result, error) {
 	if cfg.Engine == nil {
-		panic("trainloop: engine is required")
+		return nil, fmt.Errorf("trainloop: engine is required")
+	}
+	if cfg.Evaluator == nil {
+		return nil, fmt.Errorf("trainloop: evaluator is required")
+	}
+	if cfg.Epochs < 1 {
+		return nil, fmt.Errorf("trainloop: epochs %d must be >= 1", cfg.Epochs)
 	}
 	eng := cfg.Engine
 	evalEvery := cfg.EvalEverySteps
@@ -107,91 +110,36 @@ func Run(cfg Config) *Result {
 
 	totalSteps := cfg.Epochs * eng.StepsPerEpoch()
 	for s := 0; s < totalSteps; s++ {
-		eng.Step()
+		stepRes := eng.Step()
 		res.StepsRun++
-		if (s+1)%evalEvery != 0 && s+1 != totalSteps {
-			continue
+		if cfg.Hooks.OnStep != nil {
+			cfg.Hooks.OnStep(res.StepsRun, stepRes)
 		}
-		evalStart := time.Now()
-		var acc float64
-		switch cfg.Mode {
-		case Estimator:
-			// Full validation set on one worker; everyone else waits.
-			n := cfg.EvalSamplesPerReplica * eng.World()
-			acc = estimatorEvaluate(eng, n)
-			res.EvalSerialSamples += n
-		default:
-			acc = eng.Evaluate(cfg.EvalSamplesPerReplica)
-			res.EvalSerialSamples += cfg.EvalSamplesPerReplica
-		}
-		res.EvalWallTime += time.Since(evalStart)
-		pt := EvalPoint{
-			Step:     res.StepsRun,
-			Epoch:    float64(res.StepsRun) / float64(eng.StepsPerEpoch()),
-			Accuracy: acc,
-			Elapsed:  time.Since(start),
-		}
-		res.History = append(res.History, pt)
-		if cfg.Progress != nil {
-			cfg.Progress(fmt.Sprintf("step %5d epoch %6.2f  top-1 %.4f  (%s)", pt.Step, pt.Epoch, pt.Accuracy, pt.Elapsed.Round(time.Millisecond)))
-		}
-		if acc > res.PeakAccuracy {
-			res.PeakAccuracy = acc
-			res.TimeToPeak = pt.Elapsed
-			if cfg.CheckpointPath != "" {
-				if err := checkpoint.SaveFile(cfg.CheckpointPath, eng.Replica(0).Model); err != nil {
-					// Surface via progress rather than aborting training.
-					if cfg.Progress != nil {
-						cfg.Progress("checkpoint save failed: " + err.Error())
-					}
-				} else {
-					res.CheckpointsSaved++
-				}
+		if (s+1)%evalEvery == 0 || s+1 == totalSteps {
+			evalStart := time.Now()
+			acc, serial := cfg.Evaluator.Evaluate(eng, cfg.EvalSamplesPerReplica)
+			res.EvalSerialSamples += serial
+			res.EvalWallTime += time.Since(evalStart)
+			pt := EvalPoint{
+				Step:     res.StepsRun,
+				Epoch:    float64(res.StepsRun) / float64(eng.StepsPerEpoch()),
+				Accuracy: acc,
+				Elapsed:  time.Since(start),
+			}
+			res.History = append(res.History, pt)
+			if acc > res.PeakAccuracy {
+				res.PeakAccuracy = acc
+				res.TimeToPeak = pt.Elapsed
+			}
+			if cfg.Hooks.OnEval != nil {
+				cfg.Hooks.OnEval(pt)
 			}
 		}
-		if cfg.TargetAccuracy > 0 && acc >= cfg.TargetAccuracy {
-			res.ReachedGoal = true
+		if cfg.Stop != nil && cfg.Stop() {
+			res.Stopped = true
 			break
 		}
 	}
 	res.TotalTime = time.Since(start)
-	return res
-}
-
-// estimatorEvaluate scores maxSamples validation images on replica 0 alone,
-// reproducing the serialized-evaluation structure of TPUEstimator.
-func estimatorEvaluate(e *replica.Engine, maxSamples int) float64 {
-	rep := e.Replica(0)
-	model := rep.Model
-	ds := rep.Dataset()
-	shard := data.NewShard(ds, 1, 0, 1) // the whole validation split
-	n := shard.Len()
-	if maxSamples > 0 && maxSamples < n {
-		n = maxSamples
-	}
-	bs := rep.BatchSize()
-	res := ds.Config().Resolution
-	batch := tensor.New(bs, 3, res, res)
-	labels := make([]int, bs)
-	ctx := nn.EvalCtx()
-	correct, total := 0, 0
-	for lo := 0; lo < n; lo += bs {
-		cnt := bs
-		if lo+cnt > n {
-			cnt = n - lo
-		}
-		shard.FillBatch(0, lo/bs, batch, labels)
-		logits := model.Forward(ctx, autograd.Constant(batch))
-		pred := autograd.Argmax(logits.T)
-		for i := 0; i < cnt; i++ {
-			if pred[i] == labels[i] {
-				correct++
-			}
-		}
-		total += cnt
-	}
-	if total == 0 {
-		return 0
-	}
-	return float64(correct) / float64(total)
+	return res, nil
 }

@@ -1,18 +1,22 @@
 package trainloop
 
 import (
-	"math/rand"
-	"path/filepath"
-	"strings"
 	"testing"
 
 	"effnetscale/internal/bf16"
-	"effnetscale/internal/checkpoint"
 	"effnetscale/internal/data"
-	"effnetscale/internal/efficientnet"
 	"effnetscale/internal/replica"
 	"effnetscale/internal/schedule"
 )
+
+// distEval is the minimal distributed evaluator — the engine's own sharded
+// evaluation. The full strategy implementations live in the train package.
+type distEval struct{}
+
+func (distEval) Name() string { return "distributed" }
+func (distEval) Evaluate(e *replica.Engine, per int) (float64, int) {
+	return e.Evaluate(per), per
+}
 
 func testEngine(t *testing.T, world, perBatch, bnGroup int, opt string, sched schedule.Schedule) *replica.Engine {
 	t.Helper()
@@ -39,14 +43,15 @@ func testEngine(t *testing.T, world, perBatch, bnGroup int, opt string, sched sc
 
 func TestDistributedLoopTracksPeak(t *testing.T) {
 	e := testEngine(t, 2, 8, 2, "sgd", schedule.Constant(0.1))
-	var lines []string
-	res := Run(Config{
+	res, err := Run(Config{
 		Engine:                e,
 		Epochs:                3,
 		EvalSamplesPerReplica: 16,
-		Mode:                  Distributed,
-		Progress:              func(s string) { lines = append(lines, s) },
+		Evaluator:             distEval{},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.History) == 0 {
 		t.Fatal("no evaluation points recorded")
 	}
@@ -59,65 +64,55 @@ func TestDistributedLoopTracksPeak(t *testing.T) {
 	if res.StepsRun != 3*e.StepsPerEpoch() {
 		t.Fatalf("StepsRun = %d, want %d", res.StepsRun, 3*e.StepsPerEpoch())
 	}
-	if len(lines) != len(res.History) {
-		t.Fatalf("progress lines %d != history %d", len(lines), len(res.History))
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := Run(Config{Evaluator: distEval{}, Epochs: 1}); err == nil {
+		t.Fatal("nil engine must error")
 	}
-	if !strings.Contains(lines[0], "top-1") {
-		t.Fatalf("progress line malformed: %q", lines[0])
+	e := testEngine(t, 1, 4, 1, "sgd", schedule.Constant(0.1))
+	if _, err := Run(Config{Engine: e, Epochs: 1}); err == nil {
+		t.Fatal("nil evaluator must error")
+	}
+	if _, err := Run(Config{Engine: e, Evaluator: distEval{}, Epochs: 0}); err == nil {
+		t.Fatal("zero epochs must error")
 	}
 }
 
-func TestTargetAccuracyStopsEarly(t *testing.T) {
-	e := testEngine(t, 2, 8, 2, "sgd", schedule.Constant(0.1))
-	res := Run(Config{
+func TestStopEndsRunEarly(t *testing.T) {
+	e := testEngine(t, 2, 8, 1, "sgd", schedule.Constant(0.05))
+	steps := 0
+	res, err := Run(Config{
 		Engine:                e,
 		Epochs:                50,
-		EvalSamplesPerReplica: 16,
-		TargetAccuracy:        0.5,
-		Mode:                  Distributed,
+		EvalSamplesPerReplica: 8,
+		Evaluator:             distEval{},
+		Hooks:                 Hooks{OnStep: func(int, replica.StepResult) { steps++ }},
+		Stop:                  func() bool { return steps >= 3 },
 	})
-	if !res.ReachedGoal {
-		t.Fatalf("never reached 0.5 accuracy (peak %.3f after %d steps)", res.PeakAccuracy, res.StepsRun)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if res.StepsRun >= 50*e.StepsPerEpoch() {
-		t.Fatal("did not stop early despite reaching target")
+	if !res.Stopped {
+		t.Fatal("Stopped not set")
 	}
-}
-
-func TestEstimatorModeSerializesEvaluation(t *testing.T) {
-	// The §3.3 bottleneck, measured deterministically: with W replicas the
-	// Estimator loop pushes W× more eval samples through a single worker
-	// than the distributed loop pushes through each worker.
-	world := 4
-	evalPer := 8
-	epochs := 2
-
-	eDist := testEngine(t, world, 4, 1, "sgd", schedule.Constant(0.05))
-	dist := Run(Config{Engine: eDist, Epochs: epochs, EvalSamplesPerReplica: evalPer, Mode: Distributed})
-
-	eEst := testEngine(t, world, 4, 1, "sgd", schedule.Constant(0.05))
-	est := Run(Config{Engine: eEst, Epochs: epochs, EvalSamplesPerReplica: evalPer, Mode: Estimator})
-
-	if est.EvalSerialSamples != world*dist.EvalSerialSamples {
-		t.Fatalf("estimator serial samples = %d, want %d (= %d × distributed %d)",
-			est.EvalSerialSamples, world*dist.EvalSerialSamples, world, dist.EvalSerialSamples)
-	}
-	// Both loops measure accuracy on the same distribution; results must be
-	// in-range and training must have happened in both.
-	if dist.PeakAccuracy <= 0 || est.PeakAccuracy <= 0 {
-		t.Fatalf("degenerate accuracies: dist %.3f est %.3f", dist.PeakAccuracy, est.PeakAccuracy)
+	if res.StepsRun != 3 {
+		t.Fatalf("ran %d steps, want 3", res.StepsRun)
 	}
 }
 
 func TestEvalEveryStepsCadence(t *testing.T) {
 	e := testEngine(t, 2, 8, 1, "sgd", schedule.Constant(0.05))
-	res := Run(Config{
+	res, err := Run(Config{
 		Engine:                e,
 		Epochs:                1,
 		EvalEverySteps:        4,
 		EvalSamplesPerReplica: 8,
-		Mode:                  Distributed,
+		Evaluator:             distEval{},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	steps := e.StepsPerEpoch()
 	want := steps / 4
 	if steps%4 != 0 {
@@ -128,31 +123,55 @@ func TestEvalEveryStepsCadence(t *testing.T) {
 	}
 }
 
-func TestBestCheckpointSaving(t *testing.T) {
-	e := testEngine(t, 2, 8, 2, "sgd", schedule.Constant(0.1))
-	path := filepath.Join(t.TempDir(), "best.ckpt")
-	res := Run(Config{
+func TestHooksObserveLoop(t *testing.T) {
+	e := testEngine(t, 2, 8, 1, "sgd", schedule.Constant(0.05))
+	var steps, evals int
+	lastEvalStep := 0
+	res, err := Run(Config{
 		Engine:                e,
-		Epochs:                2,
-		EvalSamplesPerReplica: 16,
-		Mode:                  Distributed,
-		CheckpointPath:        path,
+		Epochs:                1,
+		EvalSamplesPerReplica: 8,
+		Evaluator:             distEval{},
+		Hooks: Hooks{
+			OnStep: func(step int, sr replica.StepResult) {
+				steps++
+				if step != steps {
+					t.Fatalf("OnStep got step %d, want %d", step, steps)
+				}
+			},
+			OnEval: func(pt EvalPoint) {
+				evals++
+				lastEvalStep = pt.Step
+			},
+		},
 	})
-	if res.CheckpointsSaved == 0 {
-		t.Fatal("no best-so-far checkpoint written")
+	if err != nil {
+		t.Fatal(err)
 	}
-	// The checkpoint must load back into a fresh model of the same family.
-	cfg, _ := efficientnet.ConfigByName("pico", 4)
-	cfg.Resolution = 16
-	fresh := efficientnet.New(rand.New(rand.NewSource(123)), cfg)
-	if err := checkpoint.LoadFile(path, fresh); err != nil {
-		t.Fatalf("best checkpoint unloadable: %v", err)
+	if steps != res.StepsRun {
+		t.Fatalf("OnStep fired %d times, want %d", steps, res.StepsRun)
+	}
+	if evals != len(res.History) {
+		t.Fatalf("OnEval fired %d times, want %d", evals, len(res.History))
+	}
+	if lastEvalStep != res.StepsRun {
+		t.Fatalf("final eval at step %d, want %d", lastEvalStep, res.StepsRun)
 	}
 }
 
-func TestLoopModeString(t *testing.T) {
-	if Distributed.String() != "distributed" || Estimator.String() != "estimator" {
-		t.Fatal("LoopMode.String wrong")
+func TestEvalSerialSamplesAccumulate(t *testing.T) {
+	e := testEngine(t, 2, 8, 1, "sgd", schedule.Constant(0.05))
+	res, err := Run(Config{
+		Engine:                e,
+		Epochs:                2,
+		EvalSamplesPerReplica: 8,
+		Evaluator:             distEval{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 8 * len(res.History); res.EvalSerialSamples != want {
+		t.Fatalf("EvalSerialSamples = %d, want %d", res.EvalSerialSamples, want)
 	}
 }
 
@@ -160,7 +179,10 @@ func TestLARSLoopRuns(t *testing.T) {
 	// Smoke-test the paper's actual large-batch configuration end to end:
 	// LARS + warmup + polynomial decay on the mini engine.
 	e := testEngine(t, 2, 8, 2, "lars", schedule.LARSPreset(0.236, 32, 1, 5))
-	res := Run(Config{Engine: e, Epochs: 2, EvalSamplesPerReplica: 8, Mode: Distributed})
+	res, err := Run(Config{Engine: e, Epochs: 2, EvalSamplesPerReplica: 8, Evaluator: distEval{}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.StepsRun == 0 || len(res.History) == 0 {
 		t.Fatal("LARS loop did not run")
 	}
