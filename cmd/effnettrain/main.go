@@ -1,8 +1,9 @@
 // Command effnettrain runs real distributed EfficientNet training on
 // SynthImageNet with goroutine replicas — the mini-scale path that exercises
-// every mechanism of the paper (data parallelism, ring all-reduce, LARS or
-// RMSProp, warmup + decay schedules, distributed batch norm, bf16 convs,
-// distributed evaluation) — through the train.Session API.
+// every mechanism of the paper (data parallelism, pluggable collectives with
+// bucketed overlapped gradient reduction, LARS or RMSProp, warmup + decay
+// schedules, distributed batch norm, bf16 convs, distributed evaluation) —
+// through the train.Session API.
 //
 // Example (the paper's recipe at laptop scale):
 //
@@ -21,8 +22,10 @@ import (
 	"os"
 
 	"effnetscale/internal/bf16"
+	"effnetscale/internal/comm"
 	"effnetscale/internal/data"
 	"effnetscale/internal/schedule"
+	"effnetscale/internal/topology"
 	"effnetscale/internal/train"
 )
 
@@ -50,6 +53,8 @@ func main() {
 		targetAcc  = flag.Float64("target-acc", 0, "stop when eval accuracy reaches this (0 = run all epochs)")
 		bnMomentum = flag.Float64("bn-momentum", 0.9, "BN running-stats momentum (TF full-scale default is 0.99; short runs want 0.9)")
 		emaDecay   = flag.Float64("ema", 0, "weight-EMA decay (0 = disabled; reference setup evaluates EMA weights)")
+		collective = flag.String("collective", "ring", "gradient/BN all-reduce algorithm: ring, tree, torus2d, auto")
+		gradBucket = flag.Int("grad-bucket", 0, "gradient bucket size in bytes for overlapped reduction (0 = default 1 MiB)")
 		saveCkpt   = flag.String("save", "", "write a checkpoint of replica 0's model here after training")
 		bestCkpt   = flag.String("save-best", "", "write a checkpoint here after every best-so-far evaluation")
 		loadCkpt   = flag.String("load", "", "load a checkpoint into every replica before training")
@@ -68,6 +73,14 @@ func main() {
 	precision := bf16.DefaultPolicy
 	if *fp32 {
 		precision = bf16.FP32Policy
+	}
+	// The torus-based collectives lay the replicas out on a near-square
+	// rank grid (a zero Slice); pass an explicit geometry via the train API
+	// when modelling a specific slice.
+	prov, err := comm.ProviderByName(*collective, topology.Slice{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "effnettrain:", err)
+		os.Exit(2)
 	}
 
 	opts := []train.Option{
@@ -95,7 +108,11 @@ func main() {
 		train.WithEvalSamples(*evalPer),
 		train.WithEvalStrategy(strategy),
 		train.WithTarget(*targetAcc),
+		train.WithCollective(prov),
 		train.WithCallbacks(train.Progress(func(s string) { fmt.Println(s) })),
+	}
+	if *gradBucket != 0 {
+		opts = append(opts, train.WithGradBuckets(*gradBucket))
 	}
 	if *emaDecay > 0 {
 		opts = append(opts, train.WithEMA(*emaDecay))
@@ -117,8 +134,8 @@ func main() {
 		fmt.Printf("effnettrain: restored %s into %d replicas\n", *loadCkpt, *replicas)
 	}
 
-	fmt.Printf("effnettrain: %s on %d replicas, global batch %d, %s + %s decay (peak LR %.3f), BN group %d, %s eval\n",
-		*model, *replicas, sess.GlobalBatch(), *opt, *decay, schedule.ScaledLR(*lrPer256, sess.GlobalBatch()), *bnGroup, strategy.Name())
+	fmt.Printf("effnettrain: %s on %d replicas, global batch %d, %s + %s decay (peak LR %.3f), BN group %d, %s all-reduce, %s eval\n",
+		*model, *replicas, sess.GlobalBatch(), *opt, *decay, schedule.ScaledLR(*lrPer256, sess.GlobalBatch()), *bnGroup, sess.Engine().Algorithm(), strategy.Name())
 
 	res, err := sess.Run()
 	if err != nil {

@@ -1,11 +1,17 @@
 // Command podbench regenerates the paper's evaluation artifacts from the
 // pod-scale simulator:
 //
-//	podbench -artifact table1    # Table 1: throughput and all-reduce share
-//	podbench -artifact table2    # Table 2: peak accuracies
-//	podbench -artifact figure1   # Figure 1: time to peak accuracy
-//	podbench -artifact all       # everything, with paper comparisons
-//	podbench -csv                # machine-readable output
+//	podbench -artifact table1          # Table 1: throughput and all-reduce share
+//	podbench -artifact table2          # Table 2: peak accuracies
+//	podbench -artifact figure1         # Figure 1: time to peak accuracy
+//	podbench -artifact all             # everything, with paper comparisons
+//	podbench -csv                      # machine-readable output
+//	podbench -collective ring          # price Table 1 under a flat ring
+//	podbench -collective auto          # ... or the cost-model auto choice
+//
+// The -collective flag takes the same provider names the training engine
+// accepts (ring, tree, torus2d, auto), so the algorithm podbench prices and
+// the algorithm `train.WithCollective` runs are the same comm.Provider.
 package main
 
 import (
@@ -13,24 +19,34 @@ import (
 	"fmt"
 	"os"
 
+	"effnetscale/internal/comm"
 	"effnetscale/internal/metrics"
 	"effnetscale/internal/podsim"
+	"effnetscale/internal/topology"
 )
 
 func main() {
 	artifact := flag.String("artifact", "all", "which artifact to regenerate: table1, table2, figure1, all")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	collective := flag.String("collective", "torus2d", "collective algorithm for Table 1's all-reduce: ring, tree, torus2d, auto")
 	flag.Parse()
+
+	// Validate the name early with a throwaway slice; per-row providers are
+	// built against each row's actual slice geometry.
+	if _, err := comm.ProviderByName(*collective, topology.Slice{}); err != nil {
+		fmt.Fprintln(os.Stderr, "podbench:", err)
+		os.Exit(2)
+	}
 
 	switch *artifact {
 	case "table1":
-		fail(printTable1(*csv))
+		fail(printTable1(*csv, *collective))
 	case "table2":
 		fail(printTable2(*csv))
 	case "figure1":
 		fail(printFigure1(*csv))
 	case "all":
-		fail(printTable1(*csv))
+		fail(printTable1(*csv, *collective))
 		fmt.Println()
 		fail(printTable2(*csv))
 		fmt.Println()
@@ -56,17 +72,17 @@ func emit(t *metrics.Table, csv bool) {
 	}
 }
 
-func printTable1(csv bool) error {
-	rows, err := podsim.Table1()
+func printTable1(csv bool, collective string) error {
+	rows, err := podsim.Table1With(collective)
 	if err != nil {
 		return err
 	}
 	t := metrics.NewTable(
 		"Table 1: Communication costs and throughput (modelled vs paper)",
-		"Model", "#TPU-v3 cores", "Global batch", "Throughput (img/ms)", "Paper", "All-Reduce %", "Paper %")
+		"Model", "#TPU-v3 cores", "Global batch", "Algorithm", "Throughput (img/ms)", "Paper", "All-Reduce %", "Paper %")
 	for i, r := range rows {
 		p := podsim.PaperTable1[i]
-		t.AddRow("EfficientNet-"+upper(r.Model), r.Cores, r.GlobalBatch,
+		t.AddRow("EfficientNet-"+upper(r.Model), r.Cores, r.GlobalBatch, r.Algorithm,
 			round2(r.ThroughputImgPerMs), p.ThroughputImgPerMs,
 			round2(r.AllReducePct), p.AllReducePct)
 	}

@@ -1,21 +1,22 @@
 package comm
 
-// Additional collectives beyond the ring all-reduce: broadcast, all-gather,
-// reduce-scatter and a recursive-doubling tree all-reduce. The replica
-// engine uses RingAllReduce for gradients (bandwidth-optimal for large
-// payloads); the tree variant is better for small latency-bound payloads
-// and is exercised by the benchmark harness for comparison.
+// Additional transport-level collectives beyond the ring all-reduce:
+// broadcast, all-gather, reduce-scatter and a recursive-doubling tree
+// all-reduce. These are the building blocks the Collective implementations
+// (collective.go) compose; the ring variants are bandwidth-optimal for large
+// payloads, the tree variant beats them for small latency-bound payloads.
 
-// Broadcast copies root's buf to every rank (ring pipeline). All ranks must
+// broadcast copies root's buf to every rank (ring pipeline). All ranks must
 // pass buffers of the same length; non-root contents are overwritten.
-func (p *Peer) Broadcast(buf []float32, root int) {
+func (p *Peer) broadcast(buf []float32, root int) {
 	n := p.w.n
 	if n == 1 {
 		return
 	}
 	rank := p.rank
+	prev := (rank - 1 + n) % n
 	send := p.w.f32[rank]
-	recv := p.w.f32[(rank-1+n)%n]
+	recv := p.w.f32[prev]
 	// Positions along the ring starting at root.
 	pos := ((rank-root)%n + n) % n
 	// Each rank (except the last) forwards once; each rank (except root)
@@ -23,103 +24,91 @@ func (p *Peer) Broadcast(buf []float32, root int) {
 	if pos != 0 {
 		in := <-recv
 		if len(in) != len(buf) {
-			panic("comm: Broadcast buffer length mismatch across ranks")
+			panic("comm: broadcast buffer length mismatch across ranks")
 		}
 		copy(buf, in)
+		p.release32(prev, in)
 	}
 	if pos != n-1 {
-		out := make([]float32, len(buf))
+		out := p.stage32(len(buf))
 		copy(out, buf)
 		send <- out
 	}
 	p.Barrier()
 }
 
-// AllGather concatenates every rank's local slice into out, ordered by rank.
+// allGather concatenates every rank's local slice into out, ordered by rank.
 // len(out) must equal WorldSize() × len(local).
-func (p *Peer) AllGather(local, out []float32) {
+func (p *Peer) allGather(local, out []float32) {
 	n := p.w.n
 	l := len(local)
 	if len(out) != n*l {
-		panic("comm: AllGather output length must be world × local length")
+		panic("comm: all-gather output length must be world × local length")
 	}
 	rank := p.rank
 	copy(out[rank*l:(rank+1)*l], local)
 	if n == 1 {
 		return
 	}
+	prev := (rank - 1 + n) % n
 	send := p.w.f32[rank]
-	recv := p.w.f32[(rank-1+n)%n]
+	recv := p.w.f32[prev]
 	// Ring all-gather: in step s, forward the chunk received in step s−1.
 	cur := rank
 	for s := 0; s < n-1; s++ {
-		outChunk := make([]float32, l)
+		outChunk := p.stage32(l)
 		copy(outChunk, out[cur*l:(cur+1)*l])
 		send <- outChunk
 		in := <-recv
 		cur = ((cur-1)%n + n) % n
 		if len(in) != l {
-			panic("comm: AllGather buffer length mismatch across ranks")
+			panic("comm: all-gather buffer length mismatch across ranks")
 		}
 		copy(out[cur*l:(cur+1)*l], in)
+		p.release32(prev, in)
 	}
 }
 
-// ReduceScatter sums buf across ranks and leaves rank r holding only chunk r
+// reduceScatter sums buf across ranks and leaves rank r holding only chunk r
 // of the reduced result (returned as a fresh slice; chunk boundaries follow
-// chunkBounds). buf is left in an unspecified partially-reduced state.
-func (p *Peer) ReduceScatter(buf []float32) []float32 {
+// chunkBounds of index (r+1) mod n). buf is left in an unspecified
+// partially-reduced state.
+func (p *Peer) reduceScatter(buf []float32) []float32 {
 	n := p.w.n
-	rank := p.rank
 	if n == 1 {
 		out := make([]float32, len(buf))
 		copy(out, buf)
 		return out
 	}
-	send := p.w.f32[rank]
-	recv := p.w.f32[(rank-1+n)%n]
-	for s := 0; s < n-1; s++ {
-		sendIdx := ((rank-s)%n + n) % n
-		lo, hi := chunkBounds(len(buf), n, sendIdx)
-		out := make([]float32, hi-lo)
-		copy(out, buf[lo:hi])
-		send <- out
-		in := <-recv
-		rlo, rhi := chunkBounds(len(buf), n, ((rank-s-1)%n+n)%n)
-		if len(in) != rhi-rlo {
-			panic("comm: ReduceScatter buffer length mismatch across ranks")
-		}
-		for i := range in {
-			buf[rlo+i] += in[i]
-		}
-	}
+	p.ringReduceScatter(buf)
 	// After n−1 steps, rank owns the fully reduced chunk (rank+1 mod n).
-	lo, hi := chunkBounds(len(buf), n, (rank+1)%n)
+	lo, hi := chunkBounds(len(buf), n, (p.rank+1)%n)
 	out := make([]float32, hi-lo)
 	copy(out, buf[lo:hi])
 	return out
 }
 
-// TreeAllReduce sums buf across all ranks using recursive halving/doubling
-// on the barrier-synchronized shared staging area. It moves O(log n) full
-// payloads per rank, beating the ring for small latency-bound payloads. The
-// implementation stages through per-round dedicated channels to keep the
-// SPMD lockstep property.
-func (p *Peer) TreeAllReduce(buf []float32) {
+// treeAllReduce sums buf across all ranks using recursive halving/doubling:
+// log2(n) rounds, each exchanging the full payload with a partner at
+// distance 2^round. It moves O(log n) full payloads per rank, beating the
+// ring for small latency-bound payloads. The implementation stages through
+// per-rank channels with a barrier per round to keep the SPMD lockstep
+// property. Non-power-of-two worlds fall back to the ring (reported by
+// Tree.Algorithm as a ring fallback); returns true when the tree actually
+// ran.
+func (p *Peer) treeAllReduce(buf []float32) bool {
 	n := p.w.n
 	if n == 1 {
-		return
+		return true
 	}
-	// For non-power-of-two worlds, fall back to the ring (correctness
-	// first; the analytic model covers tree costs separately).
 	if n&(n-1) != 0 {
-		p.RingAllReduce(buf)
-		return
+		p.ringAllReduce(buf)
+		return false
 	}
 	rank := p.rank
 	for dist := 1; dist < n; dist <<= 1 {
 		partner := rank ^ dist
-		out := make([]float32, len(buf))
+		out := p.stage32(len(buf))
 		copy(out, buf)
 		// Stage the payload for the partner, then collect the partner's.
 		// Addressing: channel f32[rank] carries rank's payload this round;
@@ -128,11 +117,43 @@ func (p *Peer) TreeAllReduce(buf []float32) {
 		p.Barrier()
 		in := <-p.w.f32[partner]
 		if len(in) != len(buf) {
-			panic("comm: TreeAllReduce buffer length mismatch across ranks")
+			panic("comm: tree all-reduce buffer length mismatch across ranks")
 		}
 		for i := range buf {
 			buf[i] += in[i]
 		}
+		p.release32(partner, in)
 		p.Barrier()
 	}
+	return true
+}
+
+// treeAllReduceF64 is treeAllReduce over float64 buffers.
+func (p *Peer) treeAllReduceF64(buf []float64) bool {
+	n := p.w.n
+	if n == 1 {
+		return true
+	}
+	if n&(n-1) != 0 {
+		p.ringAllReduceF64(buf)
+		return false
+	}
+	rank := p.rank
+	for dist := 1; dist < n; dist <<= 1 {
+		partner := rank ^ dist
+		out := p.stage64(len(buf))
+		copy(out, buf)
+		p.w.f64[rank] <- out
+		p.Barrier()
+		in := <-p.w.f64[partner]
+		if len(in) != len(buf) {
+			panic("comm: tree all-reduce buffer length mismatch across ranks")
+		}
+		for i := range buf {
+			buf[i] += in[i]
+		}
+		p.release64(partner, in)
+		p.Barrier()
+	}
+	return true
 }

@@ -1,14 +1,19 @@
 // Package comm implements the collective-communication layer in two forms:
 //
-//  1. Functional collectives — real ring all-reduce (reduce-scatter followed
-//     by all-gather) over goroutine "replicas" connected by channels. The
-//     mini-scale distributed training runs actually move gradient and
-//     batch-norm statistics through these, so the algorithms are exercised,
-//     not just modelled.
+//  1. Functional collectives — real ring, tree and hierarchical 2-D torus
+//     algorithms over goroutine "replicas" connected by channels, all behind
+//     the Collective interface (see collective.go). The mini-scale
+//     distributed training runs actually move gradient and batch-norm
+//     statistics through these, so the algorithms are exercised, not just
+//     modelled.
 //
 //  2. An analytic α-β cost model for the same collectives on a TPU-v3
-//     slice's 2-D (torus) interconnect, used by the pod simulator to
-//     produce Table 1's "% of time spent on All-Reduce" column.
+//     slice's 2-D (torus) interconnect (see cost.go), used by the pod
+//     simulator to produce Table 1's "% of time spent on All-Reduce" column
+//     and by the Auto collective to pick an algorithm per call.
+//
+// The Collective interface and its Provider builders are the public seam;
+// World and Peer are the underlying channel transport.
 package comm
 
 import (
@@ -16,13 +21,23 @@ import (
 	"sync"
 )
 
+// stagePoolCap bounds how many staging buffers a rank keeps for reuse. Ring
+// algorithms have at most one message of this rank in flight plus one being
+// processed by the receiver; tree rounds add one more. Four gives headroom
+// without hoarding memory.
+const stagePoolCap = 4
+
 // World wires n ranks into a ring. Each rank must be driven by its own
 // goroutine; collectives are synchronous across the world.
 type World struct {
 	n   int
 	f32 []chan []float32 // f32[r]: channel rank r sends to rank (r+1)%n
 	f64 []chan []float64
-	bar *cyclicBarrier
+	// rec32[r] recycles staging buffers back to rank r after the receiver
+	// has consumed them, so steady-state collectives allocate nothing.
+	rec32 []chan []float32
+	rec64 []chan []float64
+	bar   *cyclicBarrier
 }
 
 // NewWorld creates a communication world of n ranks.
@@ -33,9 +48,13 @@ func NewWorld(n int) *World {
 	w := &World{n: n, bar: newCyclicBarrier(n)}
 	w.f32 = make([]chan []float32, n)
 	w.f64 = make([]chan []float64, n)
+	w.rec32 = make([]chan []float32, n)
+	w.rec64 = make([]chan []float64, n)
 	for i := 0; i < n; i++ {
 		w.f32[i] = make(chan []float32, 1)
 		w.f64[i] = make(chan []float64, 1)
+		w.rec32[i] = make(chan []float32, stagePoolCap)
+		w.rec64[i] = make(chan []float64, stagePoolCap)
 	}
 	return w
 }
@@ -82,9 +101,13 @@ func (w *World) Peer(r int) *Peer {
 	return &Peer{w: w, rank: r}
 }
 
-// Peer is one rank's view of a World. All collectives must be entered by
-// every rank of the world (from distinct goroutines) or they deadlock —
-// matching the lockstep SPMD semantics of TPU collectives.
+// Peer is one rank's view of a World: the channel transport the Collective
+// implementations are built on. All collectives must be entered by every
+// rank of the world (from distinct goroutines) or they deadlock — matching
+// the lockstep SPMD semantics of TPU collectives.
+//
+// The collective algorithms themselves are unexported methods; call sites
+// outside this package go through the Collective interface.
 type Peer struct {
 	w    *World
 	rank int
@@ -102,6 +125,53 @@ func (p *Peer) Barrier() {
 		return
 	}
 	p.w.bar.wait()
+}
+
+// --- Staging-buffer reuse ----------------------------------------------------
+//
+// Every ring/tree step used to allocate a fresh slice to stage the outgoing
+// chunk. Instead, each rank owns a small pool of staging buffers: senders pop
+// from their own pool (allocating only on a miss), and receivers return a
+// consumed buffer to the *sender's* pool once its contents have been folded
+// into the local state. A buffer is recycled only after explicit release, so
+// reuse can never race with a receiver still reading it.
+
+// stage32 pops a staging buffer of length n from this rank's pool.
+func (p *Peer) stage32(n int) []float32 {
+	select {
+	case b := <-p.w.rec32[p.rank]:
+		if cap(b) >= n {
+			return b[:n]
+		}
+	default:
+	}
+	return make([]float32, n)
+}
+
+// release32 returns a fully-consumed received buffer to its sender's pool.
+func (p *Peer) release32(sender int, b []float32) {
+	select {
+	case p.w.rec32[sender] <- b:
+	default: // pool full: let the GC have it
+	}
+}
+
+func (p *Peer) stage64(n int) []float64 {
+	select {
+	case b := <-p.w.rec64[p.rank]:
+		if cap(b) >= n {
+			return b[:n]
+		}
+	default:
+	}
+	return make([]float64, n)
+}
+
+func (p *Peer) release64(sender int, b []float64) {
+	select {
+	case p.w.rec64[sender] <- b:
+	default:
+	}
 }
 
 // chunkBounds splits length l into n contiguous chunks; chunk i is
@@ -124,92 +194,145 @@ func min(a, b int) int {
 	return b
 }
 
-// RingAllReduce sums buf element-wise across all ranks; on return every
+// ringAllReduce sums buf element-wise across all ranks; on return every
 // rank's buf holds the identical total. The algorithm is the bandwidth-
 // optimal ring: n−1 reduce-scatter steps followed by n−1 all-gather steps,
 // each moving 1/n of the buffer, for 2(n−1)/n · |buf| total bytes per link.
-func (p *Peer) RingAllReduce(buf []float32) {
+func (p *Peer) ringAllReduce(buf []float32) {
+	if p.w.n == 1 {
+		return
+	}
+	p.ringReduceScatter(buf)
+	p.ringAllGather(buf)
+}
+
+// ringReduceScatter runs the n−1 reduce-scatter steps of the ring in place.
+// On return, rank r owns the fully-reduced chunk (r+1) mod n of buf (bounds
+// per chunkBounds); the rest of buf is partially reduced.
+func (p *Peer) ringReduceScatter(buf []float32) {
 	n := p.w.n
 	if n == 1 {
 		return
 	}
 	rank := p.rank
+	prev := (rank - 1 + n) % n
 	send := p.w.f32[rank]
-	recv := p.w.f32[(rank-1+n)%n]
+	recv := p.w.f32[prev]
 
-	// Reduce-scatter: after step s, chunk (rank−s) holds partial sums of
-	// s+1 ranks; after n−1 steps chunk (rank+1 mod n) is complete.
+	// After step s, chunk (rank−s) holds partial sums of s+1 ranks; after
+	// n−1 steps chunk (rank+1 mod n) is complete.
 	for s := 0; s < n-1; s++ {
 		sendIdx := ((rank-s)%n + n) % n
 		lo, hi := chunkBounds(len(buf), n, sendIdx)
-		out := make([]float32, hi-lo)
+		out := p.stage32(hi - lo)
 		copy(out, buf[lo:hi])
 		send <- out
 		in := <-recv
 		rlo, rhi := chunkBounds(len(buf), n, ((rank-s-1)%n+n)%n)
 		if len(in) != rhi-rlo {
-			panic("comm: RingAllReduce buffer length mismatch across ranks")
+			panic("comm: ring reduce-scatter buffer length mismatch across ranks")
 		}
 		for i := range in {
 			buf[rlo+i] += in[i]
 		}
-	}
-	// All-gather: circulate the completed chunks.
-	for s := 0; s < n-1; s++ {
-		sendIdx := ((rank+1-s)%n + n) % n
-		lo, hi := chunkBounds(len(buf), n, sendIdx)
-		out := make([]float32, hi-lo)
-		copy(out, buf[lo:hi])
-		send <- out
-		in := <-recv
-		rlo := 0
-		rhi := 0
-		rlo, rhi = chunkBounds(len(buf), n, ((rank-s)%n+n)%n)
-		copy(buf[rlo:rhi], in)
+		p.release32(prev, in)
 	}
 }
 
-// RingAllReduceF64 is RingAllReduce over float64 buffers (used for
-// batch-norm statistics, which accumulate in double precision).
-func (p *Peer) RingAllReduceF64(buf []float64) {
+// ringAllGather circulates completed chunks so every rank ends with the full
+// buffer. It assumes the post-reduce-scatter ownership: rank r holds the
+// final value of chunk (r+1) mod n.
+func (p *Peer) ringAllGather(buf []float32) {
 	n := p.w.n
 	if n == 1 {
 		return
 	}
 	rank := p.rank
-	send := p.w.f64[rank]
-	recv := p.w.f64[(rank-1+n)%n]
-	for s := 0; s < n-1; s++ {
-		sendIdx := ((rank-s)%n + n) % n
-		lo, hi := chunkBounds(len(buf), n, sendIdx)
-		out := make([]float64, hi-lo)
-		copy(out, buf[lo:hi])
-		send <- out
-		in := <-recv
-		rlo, rhi := chunkBounds(len(buf), n, ((rank-s-1)%n+n)%n)
-		if len(in) != rhi-rlo {
-			panic("comm: RingAllReduceF64 buffer length mismatch across ranks")
-		}
-		for i := range in {
-			buf[rlo+i] += in[i]
-		}
-	}
+	prev := (rank - 1 + n) % n
+	send := p.w.f32[rank]
+	recv := p.w.f32[prev]
 	for s := 0; s < n-1; s++ {
 		sendIdx := ((rank+1-s)%n + n) % n
 		lo, hi := chunkBounds(len(buf), n, sendIdx)
-		out := make([]float64, hi-lo)
+		out := p.stage32(hi - lo)
 		copy(out, buf[lo:hi])
 		send <- out
 		in := <-recv
 		rlo, rhi := chunkBounds(len(buf), n, ((rank-s)%n+n)%n)
+		if len(in) != rhi-rlo {
+			panic("comm: ring all-gather buffer length mismatch across ranks")
+		}
 		copy(buf[rlo:rhi], in)
+		p.release32(prev, in)
 	}
 }
 
-// AllReduceScalar sums a scalar across ranks (convenience for counts and
-// losses).
-func (p *Peer) AllReduceScalar(v float64) float64 {
+// ringAllReduceF64 is ringAllReduce over float64 buffers (used for
+// batch-norm statistics and metrics, which accumulate in double precision).
+func (p *Peer) ringAllReduceF64(buf []float64) {
+	if p.w.n == 1 {
+		return
+	}
+	p.ringReduceScatterF64(buf)
+	p.ringAllGatherF64(buf)
+}
+
+func (p *Peer) ringReduceScatterF64(buf []float64) {
+	n := p.w.n
+	if n == 1 {
+		return
+	}
+	rank := p.rank
+	prev := (rank - 1 + n) % n
+	send := p.w.f64[rank]
+	recv := p.w.f64[prev]
+	for s := 0; s < n-1; s++ {
+		sendIdx := ((rank-s)%n + n) % n
+		lo, hi := chunkBounds(len(buf), n, sendIdx)
+		out := p.stage64(hi - lo)
+		copy(out, buf[lo:hi])
+		send <- out
+		in := <-recv
+		rlo, rhi := chunkBounds(len(buf), n, ((rank-s-1)%n+n)%n)
+		if len(in) != rhi-rlo {
+			panic("comm: ring reduce-scatter buffer length mismatch across ranks")
+		}
+		for i := range in {
+			buf[rlo+i] += in[i]
+		}
+		p.release64(prev, in)
+	}
+}
+
+func (p *Peer) ringAllGatherF64(buf []float64) {
+	n := p.w.n
+	if n == 1 {
+		return
+	}
+	rank := p.rank
+	prev := (rank - 1 + n) % n
+	send := p.w.f64[rank]
+	recv := p.w.f64[prev]
+	for s := 0; s < n-1; s++ {
+		sendIdx := ((rank+1-s)%n + n) % n
+		lo, hi := chunkBounds(len(buf), n, sendIdx)
+		out := p.stage64(hi - lo)
+		copy(out, buf[lo:hi])
+		send <- out
+		in := <-recv
+		rlo, rhi := chunkBounds(len(buf), n, ((rank-s)%n+n)%n)
+		if len(in) != rhi-rlo {
+			panic("comm: ring all-gather buffer length mismatch across ranks")
+		}
+		copy(buf[rlo:rhi], in)
+		p.release64(prev, in)
+	}
+}
+
+// AllReduceScalar sums a scalar across the collective's ranks (convenience
+// for counts and losses).
+func AllReduceScalar(c Collective, v float64) float64 {
 	buf := []float64{v}
-	p.RingAllReduceF64(buf)
+	c.AllReduceF64(buf)
 	return buf[0]
 }

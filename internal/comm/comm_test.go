@@ -24,6 +24,19 @@ func runWorld(n int, body func(rank int, p *Peer)) {
 	wg.Wait()
 }
 
+// runCollectives drives body(rank, colls[rank]) on len(colls) goroutines.
+func runCollectives(colls []Collective, body func(rank int, c Collective)) {
+	var wg sync.WaitGroup
+	for r := range colls {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			body(r, colls[r])
+		}(r)
+	}
+	wg.Wait()
+}
+
 func TestRingAllReduceMatchesSequentialSum(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 4, 7, 16} {
 		for _, l := range []int{1, 5, 16, 100, 1037} {
@@ -40,7 +53,7 @@ func TestRingAllReduceMatchesSequentialSum(t *testing.T) {
 			results := make([][]float32, n)
 			runWorld(n, func(rank int, p *Peer) {
 				buf := append([]float32(nil), inputs[rank]...)
-				p.RingAllReduce(buf)
+				p.ringAllReduce(buf)
 				results[rank] = buf
 			})
 			for r := 0; r < n; r++ {
@@ -82,7 +95,7 @@ func TestRingAllReduceF64PropertyQuick(t *testing.T) {
 		var mu sync.Mutex
 		runWorld(n, func(rank int, p *Peer) {
 			buf := append([]float64(nil), inputs[rank]...)
-			p.RingAllReduceF64(buf)
+			p.ringAllReduceF64(buf)
 			for i := range want {
 				if math.Abs(buf[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
 					mu.Lock()
@@ -100,8 +113,12 @@ func TestRingAllReduceF64PropertyQuick(t *testing.T) {
 
 func TestAllReduceScalar(t *testing.T) {
 	n := 5
-	runWorld(n, func(rank int, p *Peer) {
-		got := p.AllReduceScalar(float64(rank + 1))
+	colls, err := RingProvider().Connect(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runCollectives(colls, func(rank int, c Collective) {
+		got := AllReduceScalar(c, float64(rank+1))
 		if got != 15 { // 1+2+3+4+5
 			t.Errorf("rank %d: scalar all-reduce = %v, want 15", rank, got)
 		}
@@ -127,7 +144,7 @@ func TestBarrierSynchronizes(t *testing.T) {
 func TestSingleRankCollectivesNoop(t *testing.T) {
 	runWorld(1, func(rank int, p *Peer) {
 		buf := []float32{1, 2, 3}
-		p.RingAllReduce(buf)
+		p.ringAllReduce(buf)
 		if buf[0] != 1 || buf[2] != 3 {
 			t.Error("single-rank all-reduce must be identity")
 		}
@@ -161,6 +178,39 @@ func TestChunkBoundsCoverExactly(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestStagingBuffersAreReused(t *testing.T) {
+	// After a first collective has populated the recycle pools, further
+	// collectives on the same world must not allocate staging buffers.
+	n, l := 4, 1024
+	colls, err := RingProvider().Connect(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := func() {
+		runCollectives(colls, func(rank int, c Collective) {
+			buf := make([]float32, l)
+			c.AllReduce(buf)
+		})
+	}
+	warm()
+	w := colls[0].(*Ring).p.w
+	pooled := 0
+	for r := 0; r < n; r++ {
+		pooled += len(w.rec32[r])
+	}
+	if pooled == 0 {
+		t.Fatal("no staging buffers were recycled after an all-reduce")
+	}
+	warm()
+	pooledAfter := 0
+	for r := 0; r < n; r++ {
+		pooledAfter += len(w.rec32[r])
+	}
+	if pooledAfter < pooled {
+		t.Fatalf("staging pool shrank across collectives: %d -> %d", pooled, pooledAfter)
 	}
 }
 

@@ -1,0 +1,39 @@
+package nn
+
+import "effnetscale/internal/comm"
+
+// CollectiveStats is the distributed StatsReducer: it sums batch-norm
+// statistics across a BN replica group through any comm.Collective, so the
+// same §3.4 group reduction can run over a ring, a latency-bound tree, or
+// whatever algorithm the group's Provider selected. One instance belongs to
+// one replica and must only be driven by that replica's goroutine (the
+// collective itself is lockstep SPMD across the group).
+type CollectiveStats struct {
+	Coll comm.Collective
+
+	buf []float64 // packing buffer, reused across reductions
+}
+
+// ReduceStats implements StatsReducer: count and each vector are packed into
+// one payload, all-reduced across the group, and unpacked in place.
+func (g *CollectiveStats) ReduceStats(count float64, vecs ...[]float64) float64 {
+	n := 1
+	for _, v := range vecs {
+		n += len(v)
+	}
+	if cap(g.buf) < n {
+		g.buf = make([]float64, n)
+	}
+	buf := g.buf[:0]
+	buf = append(buf, count)
+	for _, v := range vecs {
+		buf = append(buf, v...)
+	}
+	g.Coll.AllReduceF64(buf)
+	off := 1
+	for _, v := range vecs {
+		copy(v, buf[off:off+len(v)])
+		off += len(v)
+	}
+	return buf[0]
+}

@@ -1,0 +1,60 @@
+package podsim
+
+import (
+	"strings"
+	"testing"
+
+	"effnetscale/internal/comm"
+	"effnetscale/internal/topology"
+)
+
+func TestModelStepChargesTorus2DByDefault(t *testing.T) {
+	b, err := ModelStep("b2", 1024, 32768, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1024 cores = a 32x16 chip slice; the default all-reduce is the
+	// hierarchical torus on that grid, same name the executable reports.
+	if b.Algorithm != "torus2d(32x16)" {
+		t.Fatalf("default Algorithm = %q, want torus2d(32x16)", b.Algorithm)
+	}
+}
+
+func TestModelStepWithPricesProviderAlgorithms(t *testing.T) {
+	slice, err := topology.SliceForCores(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := ModelStepWith(comm.RingProvider(), "b2", 1024, 32768, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torus, err := ModelStepWith(comm.Torus2DProvider(slice), "b2", 1024, 32768, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Algorithm != "ring" {
+		t.Fatalf("ring Algorithm = %q", ring.Algorithm)
+	}
+	// Gradients are bandwidth-heavy but at 512 chips the flat ring pays
+	// 2(n−1) latencies; the hierarchy must be cheaper (the paper's point).
+	if torus.AllReduceSeconds >= ring.AllReduceSeconds {
+		t.Fatalf("torus all-reduce (%v) must beat flat ring (%v) at 512 chips",
+			torus.AllReduceSeconds, ring.AllReduceSeconds)
+	}
+	// Compute is identical; only the communication term moves.
+	if torus.ComputeSeconds != ring.ComputeSeconds {
+		t.Fatalf("compute differs across collectives: %v vs %v", torus.ComputeSeconds, ring.ComputeSeconds)
+	}
+	auto, err := ModelStepWith(comm.AutoProvider(slice), "b2", 1024, 32768, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Auto must charge no more than the best fixed choice and name it.
+	if auto.AllReduceSeconds > torus.AllReduceSeconds {
+		t.Fatalf("auto (%v) charged more than torus (%v)", auto.AllReduceSeconds, torus.AllReduceSeconds)
+	}
+	if !strings.HasPrefix(auto.Algorithm, "torus2d") && auto.Algorithm != "ring" && auto.Algorithm != "tree" {
+		t.Fatalf("auto Algorithm = %q, want a concrete per-call choice", auto.Algorithm)
+	}
+}

@@ -16,8 +16,13 @@ type StepBreakdown struct {
 	PerCoreBatch int
 	// ComputeSeconds is forward+backward math on the padded per-core batch.
 	ComputeSeconds float64
-	// AllReduceSeconds is the fp32 gradient all-reduce on the 2-D torus.
+	// AllReduceSeconds is the fp32 gradient all-reduce under the selected
+	// collective algorithm.
 	AllReduceSeconds float64
+	// Algorithm is the collective algorithm charged for the gradient
+	// all-reduce — the same name the executable comm.Collective reports, so
+	// modelled and measured algorithms cannot drift apart.
+	Algorithm string
 	// BNSeconds is the per-step distributed batch-norm statistics traffic
 	// (forward mean/var + backward correction sums) for the group size.
 	BNSeconds float64
@@ -49,8 +54,20 @@ func mustSlice(cores int) topology.Slice {
 }
 
 // ModelStep produces the step-time breakdown for a model on a slice with a
-// global batch and BN group size (bnGroup ≤ 1 means local batch norm).
+// global batch and BN group size (bnGroup ≤ 1 means local batch norm),
+// charging the gradient all-reduce to the paper's hierarchical 2-D torus
+// algorithm — the pod default. Use ModelStepWith to price a different
+// collective.
 func ModelStep(model string, cores, globalBatch, bnGroup int) (StepBreakdown, error) {
+	return ModelStepWith(comm.Provider{}, model, cores, globalBatch, bnGroup)
+}
+
+// ModelStepWith is ModelStep under an explicit collective provider: the same
+// comm.Provider value that wires executable mini-scale collectives prices
+// the pod-scale step, so Table 1's all-reduce column and the algorithm the
+// training engine runs stay one artifact. A zero provider selects the 2-D
+// torus on the slice's chip grid.
+func ModelStepWith(prov comm.Provider, model string, cores, globalBatch, bnGroup int) (StepBreakdown, error) {
 	perf, err := PerfFor(model)
 	if err != nil {
 		return StepBreakdown{}, err
@@ -58,6 +75,9 @@ func ModelStep(model string, cores, globalBatch, bnGroup int) (StepBreakdown, er
 	slice, err := topology.SliceForCores(cores)
 	if err != nil {
 		return StepBreakdown{}, err
+	}
+	if prov.IsZero() {
+		prov = comm.Torus2DProvider(slice)
 	}
 	perCore, err := xla.SplitBatch(globalBatch, cores)
 	if err != nil {
@@ -72,7 +92,9 @@ func ModelStep(model string, cores, globalBatch, bnGroup int) (StepBreakdown, er
 		BNGroupSize:  bnGroup,
 	}
 	b.ComputeSeconds = float64(padded) * perf.Stats.TrainFLOPsPerImg() / (PeakMACsPerCore * perf.Util)
-	b.AllReduceSeconds = comm.Torus2DAllReduceSeconds(perf.Stats.GradBytes, slice, comm.TPUv3Links)
+	// The all-reduce runs over the slice's chip grid (one torus node per
+	// chip, its two cores contributing through shared HBM).
+	b.AllReduceSeconds, b.Algorithm = prov.ModelAllReduce(perf.Stats.GradBytes, slice.Chips(), comm.TPUv3Links)
 	if bnGroup > 1 {
 		groups, gerr := topology.BNGroups(cores, bnGroup, slice)
 		if gerr != nil {
@@ -102,11 +124,13 @@ func EvalSeconds(model string, cores, valSize, perCoreBatch int) (float64, error
 	return float64(steps*padded) * perImg, nil
 }
 
-// Table1Row matches one row of the paper's Table 1.
+// Table1Row matches one row of the paper's Table 1, plus the collective
+// algorithm the all-reduce column was charged to.
 type Table1Row struct {
 	Model              string
 	Cores              int
 	GlobalBatch        int
+	Algorithm          string
 	ThroughputImgPerMs float64
 	AllReducePct       float64
 }
@@ -134,11 +158,28 @@ func Table1Configs() []struct {
 	return out
 }
 
-// Table1 reproduces the paper's Table 1 from the step-time model.
+// Table1 reproduces the paper's Table 1 from the step-time model, charging
+// the all-reduce to the pod's hierarchical 2-D torus algorithm.
 func Table1() ([]Table1Row, error) {
+	return Table1With("torus2d")
+}
+
+// Table1With reproduces Table 1 with the gradient all-reduce priced under
+// the named collective (ring, tree, torus2d, auto), built per row against
+// that row's slice geometry — the same provider names train.WithCollective
+// and podbench accept.
+func Table1With(collective string) ([]Table1Row, error) {
 	var rows []Table1Row
 	for _, c := range Table1Configs() {
-		b, err := ModelStep(c.Model, c.Cores, c.Batch, 0)
+		slice, err := topology.SliceForCores(c.Cores)
+		if err != nil {
+			return nil, fmt.Errorf("podsim: table1 %s/%d: %w", c.Model, c.Cores, err)
+		}
+		prov, err := comm.ProviderByName(collective, slice)
+		if err != nil {
+			return nil, fmt.Errorf("podsim: table1: %w", err)
+		}
+		b, err := ModelStepWith(prov, c.Model, c.Cores, c.Batch, 0)
 		if err != nil {
 			return nil, fmt.Errorf("podsim: table1 %s/%d: %w", c.Model, c.Cores, err)
 		}
@@ -146,6 +187,7 @@ func Table1() ([]Table1Row, error) {
 			Model:              c.Model,
 			Cores:              c.Cores,
 			GlobalBatch:        c.Batch,
+			Algorithm:          b.Algorithm,
 			ThroughputImgPerMs: b.ThroughputImgPerMs(),
 			AllReducePct:       b.AllReducePct(),
 		})

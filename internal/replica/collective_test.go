@@ -1,0 +1,179 @@
+package replica
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"effnetscale/internal/comm"
+	"effnetscale/internal/topology"
+)
+
+func TestBucketedOverlapKeepsReplicasInSync(t *testing.T) {
+	// Tiny buckets force the flatten/reduce pipeline through many
+	// overlapped collectives per step; the core SPMD invariant — bitwise
+	// identical weights on every replica — must survive.
+	cfg := miniEngineConfig(4, 2, 2)
+	cfg.GradBucketBytes = 256 // 64 floats per bucket: hundreds of buckets
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.buckets) < 10 {
+		t.Fatalf("expected many buckets at 256 bytes, got %d", len(e.buckets))
+	}
+	for i := 0; i < 3; i++ {
+		res := e.Step()
+		if math.IsNaN(res.Loss) {
+			t.Fatalf("step %d: loss is NaN", i)
+		}
+	}
+	if d := e.WeightsInSync(); d != "" {
+		t.Fatalf("replicas diverged under bucketed overlapped reduction: %s", d)
+	}
+}
+
+func TestBucketedMatchesUnbucketedWithinTolerance(t *testing.T) {
+	// Bucketing changes the ring chunking (hence float summation order) but
+	// nothing else: a bucketed run and a one-big-bucket run must track each
+	// other closely.
+	small := miniEngineConfig(2, 4, 1)
+	small.GradBucketBytes = 512
+	big := miniEngineConfig(2, 4, 1)
+	big.GradBucketBytes = 1 << 30 // one bucket
+	a, err := New(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.buckets) != 1 {
+		t.Fatalf("expected a single bucket, got %d", len(b.buckets))
+	}
+	for i := 0; i < 2; i++ {
+		ra, rb := a.Step(), b.Step()
+		if math.Abs(ra.Loss-rb.Loss) > 1e-3*(1+math.Abs(rb.Loss)) {
+			t.Fatalf("step %d: bucketed loss %v vs unbucketed %v", i, ra.Loss, rb.Loss)
+		}
+	}
+}
+
+func TestGradBucketSpansCoverGradient(t *testing.T) {
+	for _, tc := range []struct{ gradLen, bytes, want int }{
+		{100, 4, 100},   // one float per bucket
+		{100, 400, 1},   // exactly one bucket
+		{100, 256, 2},   // 64 + 36
+		{1, 1 << 20, 1}, // tiny model, default bucket
+		{1000, 1024, 4}, // 256-float buckets, ragged tail
+	} {
+		spans := gradBuckets(tc.gradLen, tc.bytes)
+		if len(spans) != tc.want {
+			t.Fatalf("gradBuckets(%d, %d) = %d spans, want %d", tc.gradLen, tc.bytes, len(spans), tc.want)
+		}
+		prev := 0
+		for _, s := range spans {
+			if s[0] != prev || s[1] <= s[0] {
+				t.Fatalf("gradBuckets(%d, %d): bad span %v after %d", tc.gradLen, tc.bytes, s, prev)
+			}
+			prev = s[1]
+		}
+		if prev != tc.gradLen {
+			t.Fatalf("gradBuckets(%d, %d) covers %d floats", tc.gradLen, tc.bytes, prev)
+		}
+	}
+}
+
+func TestEngineWithTorus2DCollective(t *testing.T) {
+	// The hierarchical 2-D algorithm running real training — not just the
+	// analytic model: 4 replicas on a 2x2 rank grid, distributed BN, small
+	// buckets, loss must fall and replicas must stay bitwise in sync.
+	cfg := miniEngineConfig(4, 4, 2)
+	cfg.Collective = comm.Torus2DProvider(topology.Slice{Rows: 2, Cols: 2})
+	cfg.GradBucketBytes = 1024
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Algorithm(); got != "torus2d(2x2)" {
+		t.Fatalf("Algorithm() = %q, want torus2d(2x2)", got)
+	}
+	first := e.Step()
+	var last StepResult
+	for i := 0; i < 7; i++ {
+		last = e.Step()
+	}
+	if d := e.WeightsInSync(); d != "" {
+		t.Fatalf("replicas diverged under torus2d: %s", d)
+	}
+	if math.IsNaN(last.Loss) || last.Loss >= first.Loss*1.5 {
+		t.Fatalf("torus2d training went wrong: loss %v -> %v", first.Loss, last.Loss)
+	}
+	if acc := e.Evaluate(16); acc < 0 || acc > 1 {
+		t.Fatalf("eval accuracy %v out of range", acc)
+	}
+}
+
+func TestEngineWithTreeAndAutoCollectives(t *testing.T) {
+	for _, tc := range []struct {
+		prov comm.Provider
+		algo string
+	}{
+		{comm.TreeProvider(), "tree"},
+		{comm.AutoProvider(topology.Slice{Rows: 2, Cols: 2}), "auto["},
+	} {
+		cfg := miniEngineConfig(4, 2, 4)
+		cfg.Collective = tc.prov
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.prov.Name(), err)
+		}
+		if got := e.Algorithm(); !strings.HasPrefix(got, tc.algo) {
+			t.Fatalf("%s: Algorithm() = %q, want prefix %q", tc.prov.Name(), got, tc.algo)
+		}
+		for i := 0; i < 2; i++ {
+			e.Step()
+		}
+		if d := e.WeightsInSync(); d != "" {
+			t.Fatalf("replicas diverged under %s: %s", tc.prov.Name(), d)
+		}
+	}
+}
+
+func TestCollectiveChoiceDoesNotChangeResults(t *testing.T) {
+	// Every algorithm computes the same sum in a different order; training
+	// trajectories must agree within float tolerance across collectives.
+	losses := map[string]float64{}
+	for _, prov := range []comm.Provider{
+		comm.RingProvider(),
+		comm.TreeProvider(),
+		comm.Torus2DProvider(topology.Slice{Rows: 2, Cols: 2}),
+	} {
+		cfg := miniEngineConfig(4, 2, 1)
+		cfg.Collective = prov
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last StepResult
+		for i := 0; i < 2; i++ {
+			last = e.Step()
+		}
+		losses[prov.Name()] = last.Loss
+	}
+	ring := losses["ring"]
+	for name, l := range losses {
+		if math.Abs(l-ring) > 1e-3*(1+math.Abs(ring)) {
+			t.Fatalf("%s loss %v far from ring loss %v", name, l, ring)
+		}
+	}
+}
+
+func TestBucketValidation(t *testing.T) {
+	cfg := miniEngineConfig(2, 2, 1)
+	cfg.GradBucketBytes = 2 // less than one fp32
+	if _, err := New(cfg); err == nil {
+		t.Fatal("sub-float bucket size must error")
+	}
+}

@@ -1,14 +1,22 @@
 // Package replica implements the data-parallel training engine at the heart
 // of the reproduction: N replicas (goroutines standing in for TPU cores)
 // each hold a full copy of the model and a shard of every global batch, run
-// forward/backward locally, all-reduce gradients through the comm package's
-// ring collective, and apply identical optimizer updates so the replicas
-// never diverge — the same SPMD structure the paper's TPU training uses.
+// forward/backward locally, all-reduce gradients through a pluggable
+// comm.Collective (ring by default; tree, hierarchical 2-D torus or
+// cost-model-automatic via Config.Collective), and apply identical optimizer
+// updates so the replicas never diverge — the same SPMD structure the
+// paper's TPU training uses.
+//
+// Gradient reduction is bucketed and overlapped: the flattened gradient is
+// cut into fixed-size buckets, and bucket k all-reduces on a background
+// collective stream while bucket k+1 is still being flattened from the
+// autograd tape — communication hides behind the flatten instead of
+// serializing after it (the executable cousin of podsim's overlap model).
 //
 // Distributed batch normalization (§3.4) is wired in by giving every
 // BatchNorm layer a reducer that all-reduces its per-channel statistics
-// across the replica's BN group, so the effective normalization batch is
-// per-replica batch × group size.
+// across the replica's BN group — through the same Collective interface the
+// gradients use.
 package replica
 
 import (
@@ -85,7 +93,23 @@ type Config struct {
 	// EMADecay, when > 0, maintains an exponential moving average of the
 	// weights (the reference EfficientNet setup evaluates the EMA weights).
 	EMADecay float64
+	// Collective selects the all-reduce algorithm for gradients, metrics and
+	// BN statistics: comm.RingProvider(), comm.TreeProvider(),
+	// comm.Torus2DProvider(slice) or comm.AutoProvider(slice). The zero
+	// value means ring — today's default.
+	Collective comm.Provider
+	// GradBucketBytes is the bucket size for overlapped gradient reduction:
+	// the flattened gradient is cut into buckets of this many bytes, each
+	// all-reduced on a background stream while later buckets are still
+	// being flattened. 0 picks DefaultGradBucketBytes.
+	GradBucketBytes int
 }
+
+// DefaultGradBucketBytes is the gradient bucket size when Config leaves
+// GradBucketBytes zero: 1 MiB, small enough to start communicating well
+// before the flatten finishes on paper-scale models, large enough to stay
+// bandwidth-bound per bucket.
+const DefaultGradBucketBytes = 1 << 20
 
 // StepResult aggregates one global step's metrics across all replicas.
 type StepResult struct {
@@ -99,9 +123,12 @@ type StepResult struct {
 type Engine struct {
 	cfg      Config
 	replicas []*Replica
-	world    *comm.World
 	// gradLen is the flattened gradient length (identical across replicas).
 	gradLen int
+	// buckets are the [lo, hi) float spans the flattened gradient is cut
+	// into for overlapped reduction — identical across replicas, or the
+	// lockstep collectives would deadlock.
+	buckets [][2]int
 	// stepsPerEpoch is ceil(train size / global batch).
 	stepsPerEpoch int
 	stepCount     int
@@ -112,8 +139,7 @@ type Replica struct {
 	Rank  int
 	Model *efficientnet.Model
 
-	peer    *comm.Peer
-	bnPeer  *comm.Peer // nil when BN is local
+	coll    comm.Collective // gradient/metrics collective over the world
 	opt     optim.Optimizer
 	ema     *optim.WeightEMA // nil when EMA disabled
 	train   *data.Shard
@@ -121,39 +147,32 @@ type Replica struct {
 	ctx     *nn.Ctx
 	augRNG  *rand.Rand
 	gradBuf []float32
+	buckets [][2]int
 	batch   *tensor.Tensor
 	labels  []int
 	accum   int
 }
 
-// groupReducer adapts a comm.Peer into the nn.StatsReducer seam, all-reducing
-// batch-norm statistics across the replica's BN group.
-type groupReducer struct {
-	peer *comm.Peer
-	buf  []float64
-}
+// Algorithm reports the collective algorithm the engine's gradient
+// all-reduce runs (including any fallback, per comm.Collective.Algorithm).
+func (e *Engine) Algorithm() string { return e.replicas[0].coll.Algorithm() }
 
-// ReduceStats implements nn.StatsReducer.
-func (g *groupReducer) ReduceStats(count float64, vecs ...[]float64) float64 {
-	n := 1
-	for _, v := range vecs {
-		n += len(v)
+// gradBuckets cuts a flattened gradient of gradLen floats into spans of
+// bucketBytes each (last one ragged).
+func gradBuckets(gradLen, bucketBytes int) [][2]int {
+	per := bucketBytes / 4 // fp32 gradients
+	if per < 1 {
+		per = 1
 	}
-	if cap(g.buf) < n {
-		g.buf = make([]float64, n)
+	var out [][2]int
+	for lo := 0; lo < gradLen; lo += per {
+		hi := lo + per
+		if hi > gradLen {
+			hi = gradLen
+		}
+		out = append(out, [2]int{lo, hi})
 	}
-	buf := g.buf[:0]
-	buf = append(buf, count)
-	for _, v := range vecs {
-		buf = append(buf, v...)
-	}
-	g.peer.RingAllReduceF64(buf)
-	off := 1
-	for _, v := range vecs {
-		copy(v, buf[off:off+len(v)])
-		off += len(v)
-	}
-	return buf[0]
+	return out
 }
 
 // New builds the engine: one model copy per replica (identical weights),
@@ -192,34 +211,53 @@ func New(cfg Config) (*Engine, error) {
 		// The dataset resolution wins: models are resolution-agnostic.
 		modelCfg.Resolution = cfg.Dataset.Config().Resolution
 	}
+	if cfg.GradBucketBytes == 0 {
+		cfg.GradBucketBytes = DefaultGradBucketBytes
+	}
+	if cfg.GradBucketBytes < 4 {
+		return nil, fmt.Errorf("replica: grad bucket size %d bytes must hold at least one fp32 value", cfg.GradBucketBytes)
+	}
+	prov := cfg.Collective
+	if prov.IsZero() {
+		prov = comm.RingProvider()
+	}
 
-	e := &Engine{cfg: cfg, world: comm.NewWorld(cfg.World)}
+	e := &Engine{cfg: cfg}
 
-	// BN groups: contiguous below 16, 2-D tiled above (§3.4).
+	// The world-wide collective carries gradients and metrics.
+	colls, err := prov.Connect(cfg.World)
+	if err != nil {
+		return nil, fmt.Errorf("replica: %v", err)
+	}
+
+	// BN groups: contiguous below 16, 2-D tiled above (§3.4). Each group is
+	// its own collective world under the same provider.
 	var groups [][]int
 	if cfg.BNGroupSize > 1 {
 		slice := cfg.Slice
 		if slice.Rows == 0 {
 			slice = topology.Slice{Rows: 1, Cols: (cfg.World + 1) / 2}
 		}
-		var err error
 		groups, err = topology.BNGroups(cfg.World, cfg.BNGroupSize, slice)
 		if err != nil {
 			return nil, fmt.Errorf("replica: %v", err)
 		}
 	}
-	bnWorlds := make([]*comm.World, len(groups))
-	bnPeerOf := make(map[int]*comm.Peer, cfg.World)
-	for gi, g := range groups {
-		bnWorlds[gi] = comm.NewWorld(len(g))
+	bnCollOf := make(map[int]comm.Collective, cfg.World)
+	for _, g := range groups {
+		gcolls, err := prov.Connect(len(g))
+		if err != nil {
+			return nil, fmt.Errorf("replica: BN group: %v", err)
+		}
 		for pos, rank := range g {
-			bnPeerOf[rank] = bnWorlds[gi].Peer(pos)
+			bnCollOf[rank] = gcolls[pos]
 		}
 	}
 
 	// Reference model: every replica copies its weights so all start equal.
 	ref := efficientnet.New(rand.New(rand.NewSource(cfg.Seed)), modelCfg)
 	e.gradLen = ref.NumParams()
+	e.buckets = gradBuckets(e.gradLen, cfg.GradBucketBytes)
 
 	globalBatch := cfg.World * cfg.PerReplicaBatch * cfg.GradAccumSteps
 	e.stepsPerEpoch = (cfg.Dataset.Config().TrainSize + globalBatch - 1) / globalBatch
@@ -234,14 +272,14 @@ func New(cfg Config) (*Engine, error) {
 		rep := &Replica{
 			Rank:    r,
 			Model:   m,
-			peer:    e.world.Peer(r),
-			bnPeer:  bnPeerOf[r],
+			coll:    colls[r],
 			opt:     opt,
 			train:   data.NewShard(cfg.Dataset, 0, r, cfg.World),
 			val:     data.NewShard(cfg.Dataset, 1, r, cfg.World),
 			ctx:     &nn.Ctx{Training: true, Precision: cfg.Precision, RNG: rand.New(rand.NewSource(cfg.Seed*1000 + int64(r)))},
 			augRNG:  rand.New(rand.NewSource(cfg.Seed*2000 + int64(r))),
 			gradBuf: make([]float32, e.gradLen),
+			buckets: e.buckets,
 			batch:   tensor.New(cfg.PerReplicaBatch, 3, modelCfg.Resolution, modelCfg.Resolution),
 			labels:  make([]int, cfg.PerReplicaBatch),
 			accum:   cfg.GradAccumSteps,
@@ -250,8 +288,8 @@ func New(cfg Config) (*Engine, error) {
 			rep.ema = optim.NewWeightEMA(cfg.EMADecay)
 		}
 		var red nn.StatsReducer
-		if rep.bnPeer != nil {
-			red = &groupReducer{peer: rep.bnPeer}
+		if bc := bnCollOf[r]; bc != nil {
+			red = &nn.CollectiveStats{Coll: bc}
 		}
 		for _, bn := range m.BatchNorms() {
 			if red != nil {
@@ -288,8 +326,9 @@ func (e *Engine) StepsPerEpoch() int { return e.stepsPerEpoch }
 func (e *Engine) Replica(r int) *Replica { return e.replicas[r] }
 
 // Step executes one synchronized global training step: every replica runs
-// forward/backward on its shard of the batch, gradients are ring-all-reduced
-// and averaged, and each replica applies the identical optimizer update.
+// forward/backward on its shard of the batch, gradients are all-reduced in
+// overlapped buckets through the configured collective and averaged, and
+// each replica applies the identical optimizer update.
 func (e *Engine) Step() StepResult {
 	epochF := float64(e.stepCount) / float64(e.stepsPerEpoch)
 	lr := e.cfg.Schedule.LR(epochF)
@@ -346,8 +385,24 @@ func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, worl
 		seen += len(r.labels)
 	}
 
-	// Flatten gradients, all-reduce, average, scatter back.
+	// Flatten gradients bucket by bucket, overlapping communication with
+	// the flatten: as soon as bucket k is fully flattened it is handed to a
+	// background reduction stream, which all-reduces it while bucket k+1 is
+	// still being copied off the autograd tape. Buckets are identical
+	// across replicas and reduced in order, so the lockstep SPMD property
+	// of the collective is preserved; bucket spans never overlap, so the
+	// stream reads a region only after the flatten wrote it (the channel
+	// send orders the two).
+	ready := make(chan [2]int, len(r.buckets))
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		for b := range ready {
+			r.coll.AllReduce(r.gradBuf[b[0]:b[1]])
+		}
+	}()
 	off := 0
+	next := 0 // next bucket awaiting completion
 	for _, p := range r.Model.Params() {
 		g := p.Grad()
 		if g == nil {
@@ -356,12 +411,23 @@ func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, worl
 				r.gradBuf[off+i] = 0
 			}
 			off += p.Data().Len()
-			continue
+		} else {
+			copy(r.gradBuf[off:off+g.Len()], g.Data())
+			off += g.Len()
 		}
-		copy(r.gradBuf[off:off+g.Len()], g.Data())
-		off += g.Len()
+		for next < len(r.buckets) && off >= r.buckets[next][1] {
+			ready <- r.buckets[next]
+			next++
+		}
 	}
-	r.peer.RingAllReduce(r.gradBuf[:off])
+	if next != len(r.buckets) || off != len(r.gradBuf) {
+		// Params must exactly cover gradBuf and the bucket spans exactly
+		// cover [0, gradLen): anything else means an unreduced span, which
+		// would silently desynchronize the replicas.
+		panic(fmt.Sprintf("replica: flatten covered %d/%d floats, drained %d/%d buckets", off, len(r.gradBuf), next, len(r.buckets)))
+	}
+	close(ready)
+	<-streamDone
 	inv := float32(1) / float32(world*r.accum)
 	off = 0
 	for _, p := range r.Model.Params() {
@@ -383,7 +449,7 @@ func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, worl
 
 	// Metrics: local sums all-reduced into global means.
 	sums := []float64{lossSum, float64(correct), float64(seen)}
-	r.peer.RingAllReduceF64(sums)
+	r.coll.AllReduceF64(sums)
 	return StepResult{
 		Loss:     sums[0] / sums[2],
 		Accuracy: sums[1] / sums[2],
@@ -485,7 +551,7 @@ func (r *Replica) evaluate(maxSamples int) float64 {
 		total += cnt
 	}
 	sums := []float64{float64(correct), float64(total)}
-	r.peer.RingAllReduceF64(sums)
+	r.coll.AllReduceF64(sums)
 	if sums[1] == 0 {
 		return 0
 	}

@@ -1,0 +1,64 @@
+package train
+
+import (
+	"strings"
+	"testing"
+
+	"effnetscale/internal/comm"
+	"effnetscale/internal/topology"
+)
+
+func TestWithCollectiveValidation(t *testing.T) {
+	if _, err := New(miniOpts(2, 2, 1, WithCollective(comm.Provider{}))...); err == nil {
+		t.Fatal("zero collective provider must error at New")
+	}
+	if _, err := New(miniOpts(2, 2, 1, WithGradBuckets(0))...); err == nil {
+		t.Fatal("zero grad bucket size must error at New")
+	}
+}
+
+func TestSessionTrainsWithTorus2DCollective(t *testing.T) {
+	// The acceptance bar for the Collective redesign: the paper's
+	// hierarchical 2-D torus all-reduce selected through the public Session
+	// API and exercised by a real mini-scale training run.
+	sess, err := New(miniOpts(4, 4, 2,
+		WithCollective(comm.Torus2DProvider(topology.Slice{Rows: 2, Cols: 2})),
+		WithGradBuckets(2048),
+		WithEpochs(2),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Engine().Algorithm(); got != "torus2d(2x2)" {
+		t.Fatalf("engine algorithm = %q, want torus2d(2x2)", got)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakAccuracy < 0 || res.PeakAccuracy > 1 {
+		t.Fatalf("peak accuracy %v out of range", res.PeakAccuracy)
+	}
+	if d := sess.Engine().WeightsInSync(); d != "" {
+		t.Fatalf("replicas diverged training over torus2d: %s", d)
+	}
+}
+
+func TestSessionTrainsWithAutoCollective(t *testing.T) {
+	sess, err := New(miniOpts(4, 2, 1,
+		WithCollective(comm.AutoProvider(topology.Slice{Rows: 2, Cols: 2})),
+		WithEpochs(1),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Engine().Algorithm(); !strings.HasPrefix(got, "auto[") {
+		t.Fatalf("engine algorithm = %q, want auto[...]", got)
+	}
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d := sess.Engine().WeightsInSync(); d != "" {
+		t.Fatalf("replicas diverged training over auto: %s", d)
+	}
+}

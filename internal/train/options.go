@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"effnetscale/internal/bf16"
+	"effnetscale/internal/comm"
 	"effnetscale/internal/data"
 	"effnetscale/internal/schedule"
 	"effnetscale/internal/topology"
@@ -64,6 +65,9 @@ type config struct {
 	augment        bool
 	bnMomentum     float64
 	emaDecay       float64
+
+	collective  comm.Provider
+	gradBuckets int
 
 	epochs      int
 	evalEvery   int
@@ -232,6 +236,35 @@ func WithLinearScaling(lrPer256, warmupEpochs float64, decay Decay) Option {
 			}
 			return schedule.Warmup{Epochs: warmupEpochs, Inner: inner}
 		}
+		return nil
+	}
+}
+
+// WithCollective selects the all-reduce algorithm for gradient, metrics and
+// batch-norm statistics reduction: comm.RingProvider() (the default),
+// comm.TreeProvider(), comm.Torus2DProvider(slice) — the paper's
+// hierarchical 2-D torus scheme running for real — or comm.AutoProvider,
+// which picks per call from the payload size via the α-β cost model.
+func WithCollective(p comm.Provider) Option {
+	return func(c *config) error {
+		if p.IsZero() {
+			return fmt.Errorf("train: collective provider must not be the zero value (use comm.RingProvider() etc.)")
+		}
+		c.collective = p
+		return nil
+	}
+}
+
+// WithGradBuckets sets the bucket size, in bytes, for overlapped gradient
+// reduction: bucket k all-reduces on a background stream while bucket k+1 is
+// still being flattened from the autograd tape. Smaller buckets start
+// communicating earlier; larger buckets amortize per-collective latency.
+func WithGradBuckets(bytes int) Option {
+	return func(c *config) error {
+		if bytes < 4 {
+			return fmt.Errorf("train: grad bucket size %d bytes must hold at least one fp32 value", bytes)
+		}
+		c.gradBuckets = bytes
 		return nil
 	}
 }

@@ -99,6 +99,8 @@ func New(opts ...Option) (*Session, error) {
 		BNMomentum:          c.bnMomentum,
 		GradAccumSteps:      c.gradAccum,
 		EMADecay:            c.emaDecay,
+		Collective:          c.collective,
+		GradBucketBytes:     c.gradBuckets,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("train: %w", err)
