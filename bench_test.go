@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"effnetscale/internal/bf16"
 	"effnetscale/internal/comm"
@@ -120,6 +121,7 @@ func newBenchEngine(b *testing.B, world, perBatch, bnGroup int) *replica.Engine 
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.Cleanup(eng.Close)
 	return eng
 }
 
@@ -395,6 +397,7 @@ func BenchmarkBucketedOverlap(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer eng.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				eng.Step()
@@ -402,6 +405,134 @@ func BenchmarkBucketedOverlap(b *testing.B) {
 			b.ReportMetric(float64(eng.GlobalBatch())*float64(b.N)/b.Elapsed().Seconds(), "img/s")
 		})
 	}
+}
+
+// --- Input pipeline ---------------------------------------------------------------
+
+// newPrefetchBenchEngine builds the multi-replica mini engine the prefetch
+// benchmarks step: augmentation on, because host-side input work is what the
+// pipeline exists to hide.
+func newPrefetchBenchEngine(b *testing.B, prefetch int) *replica.Engine {
+	b.Helper()
+	ds := data.New(data.MiniConfig(4, 512, 16))
+	eng, err := replica.New(replica.Config{
+		World:           4,
+		PerReplicaBatch: 4,
+		Model:           "pico",
+		Dataset:         ds,
+		OptimizerName:   "sgd",
+		Schedule:        schedule.Constant(0.05),
+		Precision:       bf16.FP32Policy,
+		Seed:            1,
+		NoAugment:       false,
+		PrefetchDepth:   prefetch,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(eng.Close)
+	return eng
+}
+
+// BenchmarkPrefetch measures real multi-replica training steps with the
+// prefetching input pipeline on (batches rendered + augmented on background
+// goroutines) versus off (synchronous rendering on the critical path, the
+// pre-pipeline behaviour). Both paths produce bit-for-bit identical batches,
+// so the throughput delta is pure input-pipeline overlap. The "speedup" case
+// interleaves both engines in one timed loop — immune to clock-speed drift
+// between sub-benchmarks — and reports prefetch-on vs prefetch-off steps/s
+// side by side (≥ 1 speedup expected; ≈ 1 on a single hardware thread, where
+// the producers can only fill the scheduling bubbles of the lockstep
+// collectives).
+func BenchmarkPrefetch(b *testing.B) {
+	for _, c := range []struct {
+		name     string
+		prefetch int
+	}{
+		{"off", replica.PrefetchOff},
+		{"depth2", 2},
+		{"depth4", 4},
+	} {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			eng := newPrefetchBenchEngine(b, c.prefetch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step()
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+			b.ReportMetric(float64(eng.GlobalBatch())*float64(b.N)/b.Elapsed().Seconds(), "img/s")
+		})
+	}
+	b.Run("speedup", func(b *testing.B) {
+		on := newPrefetchBenchEngine(b, 2)
+		off := newPrefetchBenchEngine(b, replica.PrefetchOff)
+		for i := 0; i < 3; i++ { // warm both engines and the pipelines
+			on.Step()
+			off.Step()
+		}
+		// Alternate short phases rather than single steps, with a settle
+		// gap after each prefetched phase: the prefetched engine's
+		// producers keep refilling their buffers after Step returns, and
+		// without the gap that background rendering would bleed into the
+		// inline engine's timed window and inflate tOff.
+		const phase = 8
+		var tOn, tOff time.Duration
+		steps := 0
+		b.ResetTimer()
+		for steps < b.N {
+			k := phase
+			if b.N-steps < k {
+				k = b.N - steps
+			}
+			t0 := time.Now()
+			for i := 0; i < k; i++ {
+				on.Step()
+			}
+			tOn += time.Since(t0)
+			time.Sleep(5 * time.Millisecond) // producers refill off the clock
+			t0 = time.Now()
+			for i := 0; i < k; i++ {
+				off.Step()
+			}
+			tOff += time.Since(t0)
+			steps += k
+		}
+		b.ReportMetric(float64(steps)/tOn.Seconds(), "prefetch-steps/s")
+		b.ReportMetric(float64(steps)/tOff.Seconds(), "inline-steps/s")
+		b.ReportMetric(tOff.Seconds()/tOn.Seconds(), "speedup")
+	})
+}
+
+// BenchmarkRenderThroughput is the rendering microbenchmark behind the
+// pipeline sizing: how fast the host can synthesize SynthImageNet batches
+// (per-pixel sin/exp/NormFloat64 — the work prefetching hides).
+func BenchmarkRenderThroughput(b *testing.B) {
+	for _, res := range []int{16, 32} {
+		res := res
+		b.Run(fmt.Sprintf("fillbatch16_res%d", res), func(b *testing.B) {
+			ds := data.New(data.MiniConfig(8, 2048, res))
+			shard := data.NewShard(ds, 0, 0, 1)
+			batch := tensor.New(16, 3, res, res)
+			labels := make([]int, 16)
+			b.SetBytes(int64(16 * 3 * res * res * 4))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				shard.FillBatch(0, i, batch, labels)
+			}
+			b.ReportMetric(16*float64(b.N)/b.Elapsed().Seconds(), "img/s")
+		})
+	}
+	b.Run("render_single_res32", func(b *testing.B) {
+		ds := data.New(data.MiniConfig(8, 2048, 32))
+		dst := make([]float32, 3*32*32)
+		b.SetBytes(int64(len(dst) * 4))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ds.Render(0, i%2048, dst)
+		}
+	})
 }
 
 // --- §3.2 ablation: LR schedule choice for LARS ---------------------------------
@@ -436,6 +567,7 @@ func BenchmarkScheduleAblation(b *testing.B) {
 					eng.Step()
 				}
 				acc = eng.Evaluate(32)
+				eng.Close()
 			}
 			b.ReportMetric(acc, "val-top1")
 		})

@@ -24,6 +24,7 @@ import (
 	"effnetscale/internal/bf16"
 	"effnetscale/internal/comm"
 	"effnetscale/internal/data"
+	"effnetscale/internal/replica"
 	"effnetscale/internal/schedule"
 	"effnetscale/internal/topology"
 	"effnetscale/internal/train"
@@ -55,6 +56,7 @@ func main() {
 		emaDecay   = flag.Float64("ema", 0, "weight-EMA decay (0 = disabled; reference setup evaluates EMA weights)")
 		collective = flag.String("collective", "ring", "gradient/BN all-reduce algorithm: ring, tree, torus2d, auto")
 		gradBucket = flag.Int("grad-bucket", 0, "gradient bucket size in bytes for overlapped reduction (0 = default 1 MiB)")
+		prefetch   = flag.Int("prefetch", replica.DefaultPrefetchDepth, "input-pipeline depth: batches rendered ahead per replica (0 = render synchronously on the training path)")
 		saveCkpt   = flag.String("save", "", "write a checkpoint of replica 0's model here after training")
 		bestCkpt   = flag.String("save-best", "", "write a checkpoint here after every best-so-far evaluation")
 		loadCkpt   = flag.String("load", "", "load a checkpoint into every replica before training")
@@ -114,6 +116,11 @@ func main() {
 	if *gradBucket != 0 {
 		opts = append(opts, train.WithGradBuckets(*gradBucket))
 	}
+	if *prefetch <= 0 {
+		opts = append(opts, train.WithoutPrefetch())
+	} else {
+		opts = append(opts, train.WithPrefetch(*prefetch))
+	}
 	if *emaDecay > 0 {
 		opts = append(opts, train.WithEMA(*emaDecay))
 	}
@@ -126,6 +133,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "effnettrain:", err)
 		os.Exit(1)
 	}
+	defer sess.Close()
 	if *loadCkpt != "" {
 		if err := sess.LoadCheckpoint(*loadCkpt); err != nil {
 			fmt.Fprintln(os.Stderr, "effnettrain:", err)
@@ -134,8 +142,8 @@ func main() {
 		fmt.Printf("effnettrain: restored %s into %d replicas\n", *loadCkpt, *replicas)
 	}
 
-	fmt.Printf("effnettrain: %s on %d replicas, global batch %d, %s + %s decay (peak LR %.3f), BN group %d, %s all-reduce, %s eval\n",
-		*model, *replicas, sess.GlobalBatch(), *opt, *decay, schedule.ScaledLR(*lrPer256, sess.GlobalBatch()), *bnGroup, sess.Engine().Algorithm(), strategy.Name())
+	fmt.Printf("effnettrain: %s on %d replicas, global batch %d, %s + %s decay (peak LR %.3f), BN group %d, %s all-reduce, %s eval, prefetch %d\n",
+		*model, *replicas, sess.GlobalBatch(), *opt, *decay, schedule.ScaledLR(*lrPer256, sess.GlobalBatch()), *bnGroup, sess.Engine().Algorithm(), strategy.Name(), sess.Engine().Prefetching())
 
 	res, err := sess.Run()
 	if err != nil {

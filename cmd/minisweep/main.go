@@ -121,6 +121,7 @@ func runOne(ds *data.Dataset, model, opt string, world, globalBatch, bnGroup, ep
 	if err != nil {
 		return 0, 0, 0, err
 	}
+	defer sess.Close() // each sweep point owns world input-pipeline goroutines
 	res, err := sess.Run()
 	if err != nil {
 		return 0, 0, 0, err

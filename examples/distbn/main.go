@@ -57,6 +57,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		sess.Close() // each round owns its replicas' input pipelines
 		tab.AddRow(group, group*perBatch, round3(tail.Mean()), round3(res.PeakAccuracy))
 	}
 	fmt.Print(tab.String())

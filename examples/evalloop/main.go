@@ -50,6 +50,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		sess.Close() // each strategy run owns its replicas' input pipelines
 		tab.AddRow(strategy.Name(), round3(res.PeakAccuracy), res.EvalSerialSamples,
 			res.EvalWallTime.Round(1e6), res.TotalTime.Round(1e6))
 	}

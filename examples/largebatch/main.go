@@ -72,6 +72,7 @@ func run(ds *data.Dataset, opt string, globalBatch, epochs int) (trainAcc, valAc
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sess.Close()
 	res, err := sess.Run()
 	if err != nil {
 		log.Fatal(err)

@@ -24,6 +24,8 @@ func main() {
 		log.Fatal(err)
 	}
 
+	defer sess.Close()
+
 	fmt.Printf("quickstart: EfficientNet-Pico, %d replicas (global batch %d), LARS + poly decay\n",
 		sess.Engine().World(), sess.GlobalBatch())
 

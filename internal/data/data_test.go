@@ -241,23 +241,96 @@ func TestAugmentPreservesShapeAndValues(t *testing.T) {
 	}
 }
 
-func TestPipelineDeliversAndStops(t *testing.T) {
-	d := miniDataset()
-	s := NewShard(d, 0, 0, 1)
-	p := NewPipeline(s, 4, 3, 2, true, 7)
-	got := 0
-	for b := range p.C {
-		if b.Images.Dim(0) != 4 {
-			t.Fatalf("batch size %d, want 4", b.Images.Dim(0))
+func TestBatchIndicesEmptyShard(t *testing.T) {
+	// A rank whose shard is empty (split smaller than the world) must get an
+	// empty index list, not the divide-by-zero panic this used to hit.
+	d := miniDataset() // ValSize = 64
+	s := NewShard(d, 1, 70, 100)
+	if s.Len() != 0 {
+		t.Fatalf("shard len = %d, want 0", s.Len())
+	}
+	if idx := s.BatchIndices(0, 0, 8); len(idx) != 0 {
+		t.Fatalf("empty shard returned %d indices", len(idx))
+	}
+	// FillBatch on an empty shard must fail loudly, not divide by zero.
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("FillBatch on empty shard did not panic")
 		}
-		got++
-		if got == 7 {
-			p.Stop()
-			break
+	}()
+	batch := tensor.New(4, 3, 16, 16)
+	s.FillBatch(0, 0, batch, make([]int, 4))
+}
+
+func TestShardsDisjointAndCoverNonDivisible(t *testing.T) {
+	// total % world != 0: per step the ranks' batches must be disjoint, and
+	// over one epoch the union of all ranks' positions must cover the split
+	// exactly once.
+	d := New(MiniConfig(4, 100, 16)) // 100 samples, world 3 -> shards 34/33/33
+	world := 3
+	for _, epoch := range []int{0, 2} {
+		seen := map[int]int{}
+		n := 0
+		for r := 0; r < world; r++ {
+			s := NewShard(d, 0, r, world)
+			for _, idx := range s.BatchIndices(epoch, 0, s.Len()) {
+				if prev, dup := seen[idx]; dup {
+					t.Fatalf("epoch %d: index %d assigned to ranks %d and %d", epoch, idx, prev, r)
+				}
+				seen[idx] = r
+				n++
+			}
+		}
+		if n != 100 {
+			t.Fatalf("epoch %d: %d indices covered, want 100", epoch, n)
 		}
 	}
-	// Drain: channel must close after Stop.
-	for range p.C {
+	// Within a single step at a fixed batch size, ranks stay disjoint too.
+	seen := map[int]int{}
+	for r := 0; r < world; r++ {
+		for _, idx := range NewShard(d, 0, r, world).BatchIndices(1, 2, 8) {
+			if prev, dup := seen[idx]; dup {
+				t.Fatalf("step batch: index %d on ranks %d and %d", idx, prev, r)
+			}
+			seen[idx] = r
+		}
+	}
+}
+
+func TestFillBatchNRendersOnlyPrefix(t *testing.T) {
+	d := miniDataset()
+	s := NewShard(d, 0, 0, 1)
+	batch := tensor.New(8, 3, 16, 16)
+	labels := make([]int, 8)
+	for i := range labels {
+		labels[i] = -1
+	}
+	s.FillBatchN(0, 0, 5, batch, labels)
+	img := 3 * 16 * 16
+	for i := 0; i < 5; i++ {
+		if labels[i] < 0 || labels[i] >= 4 {
+			t.Fatalf("label[%d] = %d not rendered", i, labels[i])
+		}
+	}
+	for i := 5; i < 8; i++ {
+		if labels[i] != -1 {
+			t.Fatalf("label[%d] = %d; tail must stay untouched", i, labels[i])
+		}
+		for _, v := range batch.Data()[i*img : (i+1)*img] {
+			if v != 0 {
+				t.Fatalf("sample %d pixels rendered; tail must stay untouched", i)
+			}
+		}
+	}
+	// The rendered prefix must match the same samples drawn via a full
+	// batch: positions advance by the full batch size either way.
+	full := tensor.New(8, 3, 16, 16)
+	fullLabels := make([]int, 8)
+	s.FillBatch(0, 0, full, fullLabels)
+	for i := 0; i < 5*img; i++ {
+		if batch.Data()[i] != full.Data()[i] {
+			t.Fatalf("partial render diverges from full render at %d", i)
+		}
 	}
 }
 

@@ -1,7 +1,6 @@
 package data
 
 import (
-	"context"
 	"fmt"
 	"math/rand"
 
@@ -13,15 +12,49 @@ import (
 // permuted by an affine index map seeded by the epoch, so all replicas agree
 // on the permutation without communicating — exactly how the paper's
 // distributed loop shards both training and evaluation data.
+//
+// A Shard is not safe for concurrent use: it caches the current epoch's
+// permutation constants and a scratch index slice. Each replica (and each
+// Pipeline) owns its own Shard.
 type Shard struct {
 	D           *Dataset
 	Split       int // 0 = train, 1 = val
 	Rank, World int
 
 	size int // number of samples in this shard
+
+	// perm caches the affine permutation constants for the last epoch seen,
+	// hoisted out of the per-sample path: rebuilding a rand.Rand per index
+	// used to dominate BatchIndices (once per sample per step).
+	perm epochPerm
+	// scratch is the reusable index slice behind FillBatch.
+	scratch []int
 }
 
-// NewShard creates replica rank's shard of the given split.
+// epochPerm holds one epoch's affine permutation over the split: x ->
+// (a*x + b) mod 2^k, cycle-walked until the value lands inside the split.
+type epochPerm struct {
+	epoch int
+	valid bool
+	a, b  int
+	mask  int // 2^k - 1 with 2^k the next power of two >= the split size
+	total int
+}
+
+// apply maps a within-epoch position to a global dataset index.
+func (p epochPerm) apply(pos int) int {
+	x := pos
+	for {
+		x = (p.a*x + p.b) & p.mask
+		if x < p.total {
+			return x
+		}
+	}
+}
+
+// NewShard creates replica rank's shard of the given split. The shard may be
+// empty when the split has fewer samples than the world; Len reports 0 and
+// BatchIndices returns no indices in that case.
 func NewShard(d *Dataset, split, rank, world int) *Shard {
 	if world < 1 || rank < 0 || rank >= world {
 		panic(fmt.Sprintf("data: invalid shard rank %d of %d", rank, world))
@@ -48,102 +81,81 @@ func (s *Shard) TotalLen() int {
 	return s.D.cfg.TrainSize
 }
 
-// epochPerm maps a within-epoch position to a global dataset index using an
-// affine permutation over the full split (a odd => coprime with any power of
-// two; we permute over the next power of two and skip out-of-range values).
-func (s *Shard) globalIndex(epoch, pos int) int {
+// permFor returns the epoch's permutation constants, rebuilding them only
+// when the epoch changes (a odd => coprime with any power of two, so the map
+// is bijective mod 2^k; out-of-range values are skipped by cycle-walking).
+func (s *Shard) permFor(epoch int) epochPerm {
+	if s.perm.valid && s.perm.epoch == epoch {
+		return s.perm
+	}
 	total := s.TotalLen()
-	// Size of permutation domain: next power of two >= total.
 	n := 1
 	for n < total {
 		n <<= 1
 	}
 	rng := rand.New(rand.NewSource(int64(s.D.cfg.Seed)*1e6 + int64(epoch)*7919 + int64(s.Split)))
-	a := rng.Intn(n/2)*2 + 1 // odd multiplier: bijective mod 2^k
-	b := rng.Intn(n)
-	// Cycle-walk until the value lands inside the split.
-	x := pos
-	for {
-		x = (a*x + b) & (n - 1)
-		if x < total {
-			return x
-		}
+	s.perm = epochPerm{
+		epoch: epoch,
+		valid: true,
+		a:     rng.Intn(n/2)*2 + 1, // odd multiplier: bijective mod 2^k
+		b:     rng.Intn(n),
+		mask:  n - 1,
+		total: total,
 	}
+	return s.perm
+}
+
+// globalIndex maps a within-epoch position to a global dataset index via the
+// epoch's affine permutation.
+func (s *Shard) globalIndex(epoch, pos int) int {
+	return s.permFor(epoch).apply(pos)
 }
 
 // BatchIndices returns the global dataset indices for this shard's batch at
 // the given epoch and step, with perShardBatch samples. Indices wrap around
-// the shard (steady-state training semantics).
+// the shard (steady-state training semantics). An empty shard (split smaller
+// than the world) yields an empty slice instead of the divide-by-zero panic
+// it used to hit.
 func (s *Shard) BatchIndices(epoch, step, perShardBatch int) []int {
-	idx := make([]int, perShardBatch)
-	for i := 0; i < perShardBatch; i++ {
-		pos := (step*perShardBatch + i) % s.size
-		// Position within shard -> position within split -> permuted index.
-		idx[i] = s.globalIndex(epoch, pos*s.World+s.Rank)
+	return s.appendIndices(nil, epoch, step, perShardBatch, perShardBatch)
+}
+
+// appendIndices appends the first count indices of the (epoch, step) batch of
+// stride samples to dst and returns it — the allocation-free form behind
+// FillBatch. count < stride renders a ragged prefix: positions still advance
+// by stride per step, exactly as if the full batch had been drawn.
+func (s *Shard) appendIndices(dst []int, epoch, step, stride, count int) []int {
+	if s.size == 0 || count <= 0 {
+		return dst
 	}
-	return idx
+	p := s.permFor(epoch)
+	for i := 0; i < count; i++ {
+		pos := (step*stride + i) % s.size
+		// Position within shard -> position within split -> permuted index.
+		dst = append(dst, p.apply(pos*s.World+s.Rank))
+	}
+	return dst
 }
 
 // FillBatch renders this shard's batch for (epoch, step) into batch/labels.
+// It panics on an empty shard; callers guard with Len() (replica.New rejects
+// configurations whose train split is smaller than the world).
 func (s *Shard) FillBatch(epoch, step int, batch *tensor.Tensor, labels []int) {
-	n := batch.Dim(0)
-	indices := s.BatchIndices(epoch, step, n)
-	s.D.FillBatch(s.Split, indices, batch, labels)
+	s.FillBatchN(epoch, step, batch.Dim(0), batch, labels)
 }
 
-// Batch is one prefetched unit of work flowing through a Pipeline.
-type Batch struct {
-	Images *tensor.Tensor
-	Labels []int
-	Epoch  int
-	Step   int
-}
-
-// Pipeline prefetches shard batches on background goroutines, modelling the
-// host-side input pipeline that keeps accelerator cores fed. Close the
-// context to stop it.
-type Pipeline struct {
-	C <-chan *Batch
-
-	cancel context.CancelFunc
-}
-
-// NewPipeline starts prefetching batches of size batchSize from shard,
-// beginning at epoch 0 step 0, with stepsPerEpoch steps per epoch. augment
-// applies training augmentation with the given seed; depth is the prefetch
-// buffer size.
-func NewPipeline(shard *Shard, batchSize, stepsPerEpoch, depth int, augment bool, seed int64) *Pipeline {
-	if depth < 1 {
-		depth = 1
+// FillBatchN renders only the first n samples of the (epoch, step) batch,
+// leaving the rest of the tensor and labels untouched — what ragged final
+// evaluation batches use to skip rendering the wrap-around tail that would
+// be discarded anyway. Step positions advance by the full batch size
+// (batch.Dim(0)), so partial and full batches address the same samples.
+func (s *Shard) FillBatchN(epoch, step, n int, batch *tensor.Tensor, labels []int) {
+	if s.size == 0 {
+		panic(fmt.Sprintf("data: FillBatch on empty shard (split %d has %d samples for world %d)", s.Split, s.TotalLen(), s.World))
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	ch := make(chan *Batch, depth)
-	go func() {
-		defer close(ch)
-		rng := rand.New(rand.NewSource(seed))
-		for epoch := 0; ; epoch++ {
-			for step := 0; step < stepsPerEpoch; step++ {
-				b := &Batch{
-					Images: tensor.New(batchSize, 3, shard.D.cfg.Resolution, shard.D.cfg.Resolution),
-					Labels: make([]int, batchSize),
-					Epoch:  epoch,
-					Step:   step,
-				}
-				shard.FillBatch(epoch, step, b.Images, b.Labels)
-				if augment {
-					Augment(b.Images, rng)
-				}
-				select {
-				case ch <- b:
-				case <-ctx.Done():
-					return
-				}
-			}
-		}
-	}()
-	return &Pipeline{C: ch, cancel: cancel}
+	if n > batch.Dim(0) || n > len(labels) {
+		panic(fmt.Sprintf("data: FillBatchN count %d exceeds batch capacity %d/%d", n, batch.Dim(0), len(labels)))
+	}
+	s.scratch = s.appendIndices(s.scratch[:0], epoch, step, batch.Dim(0), n)
+	s.D.FillBatch(s.Split, s.scratch, batch, labels[:n])
 }
-
-// Stop terminates the prefetch goroutine. The channel is drained and closed
-// asynchronously; pending batches may still be delivered.
-func (p *Pipeline) Stop() { p.cancel() }

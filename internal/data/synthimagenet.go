@@ -17,6 +17,7 @@ import (
 	"math"
 	"math/rand"
 
+	"effnetscale/internal/parallel"
 	"effnetscale/internal/tensor"
 )
 
@@ -167,19 +168,25 @@ func (d *Dataset) Render(split, idx int, dst []float32) int {
 }
 
 // FillBatch renders the images with the given indices of a split into batch
-// (shape [N,3,R,R]) and writes their labels. len(indices) must equal N.
+// (shape [N,3,R,R]) and writes their labels. len(indices) must equal
+// len(labels) and must not exceed N; a shorter index list renders a ragged
+// prefix and leaves the batch tail untouched. Samples render in parallel
+// (each image is an independent, per-sample-seeded computation, so the
+// result is deterministic regardless of scheduling).
 func (d *Dataset) FillBatch(split int, indices []int, batch *tensor.Tensor, labels []int) {
 	n, c, h, w := batch.Dim4()
 	if c != 3 || h != d.cfg.Resolution || w != d.cfg.Resolution {
 		panic("data: FillBatch tensor shape mismatch")
 	}
-	if len(indices) != n || len(labels) != n {
+	if len(indices) != len(labels) || len(indices) > n {
 		panic("data: FillBatch index/label length mismatch")
 	}
 	img := 3 * h * w
-	for i, idx := range indices {
-		labels[i] = d.Render(split, idx, batch.Data()[i*img:(i+1)*img])
-	}
+	parallel.ForChunked(len(indices), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			labels[i] = d.Render(split, indices[i], batch.Data()[i*img:(i+1)*img])
+		}
+	})
 }
 
 // Augment applies random horizontal flips and ±shift crops in place to a

@@ -37,8 +37,19 @@ func MaxWorkers() int { return int(maxWorkers.Load()) }
 const minGrain = 256
 
 // For runs body(i) for every i in [0, n), potentially in parallel. Iterations
-// must be independent. Small loops run inline on the calling goroutine.
+// must be independent. Loops of at most minGrain iterations run inline on the
+// calling goroutine — For is meant for cheap per-index bodies; loops with
+// expensive iterations should use ForChunked with a small grain instead.
 func For(n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n <= minGrain || MaxWorkers() <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
 	ForChunked(n, 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			body(i)
@@ -47,9 +58,12 @@ func For(n int, body func(i int)) {
 }
 
 // ForChunked divides [0, n) into contiguous chunks and invokes body(lo, hi)
-// for each chunk, potentially in parallel. grain is the approximate minimum
-// chunk size (values < 1 are treated as 1). Chunks never overlap and cover
-// [0, n) exactly.
+// for each chunk, potentially in parallel. grain is the minimum chunk size
+// (values < 1 are treated as 1): the caller's statement of how many
+// iterations are worth one goroutine. When n <= grain the whole range is a
+// single chunk and runs inline on the calling goroutine — a larger grain
+// makes the serial path more likely, never less. Chunks never overlap and
+// cover [0, n) exactly.
 func ForChunked(n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -61,8 +75,12 @@ func ForChunked(n, grain int, body func(lo, hi int)) {
 	if workers > n {
 		workers = n
 	}
-	// Serial fast path: tiny loops or a single worker.
-	if workers <= 1 || n*grain <= minGrain {
+	// Serial fast path: a single worker, or at most one grain's worth of
+	// work. (This used to test n*grain <= minGrain, which inverted the
+	// heuristic: declaring bigger chunks made goroutine spawning *more*
+	// likely, so n=2 with grain=4096 paid goroutine+WaitGroup overhead for
+	// work its caller had declared must run as one chunk.)
+	if workers <= 1 || n <= grain {
 		body(0, n)
 		return
 	}

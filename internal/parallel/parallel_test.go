@@ -1,10 +1,79 @@
 package parallel
 
 import (
+	"bytes"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
+
+// gid returns the current goroutine's id (test-only; parsed from the stack
+// header "goroutine N [...").
+func gid() string {
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	buf = bytes.TrimPrefix(buf, []byte("goroutine "))
+	if i := bytes.IndexByte(buf, ' '); i >= 0 {
+		buf = buf[:i]
+	}
+	return string(buf)
+}
+
+func TestForChunkedSingleChunkRunsInline(t *testing.T) {
+	// n <= grain means one chunk: it must run on the calling goroutine, not
+	// pay goroutine+WaitGroup overhead. (Regression: the old heuristic
+	// n*grain <= minGrain made a larger grain MORE likely to spawn.)
+	caller := gid()
+	for _, c := range []struct{ n, grain int }{{2, 4096}, {300, 300}, {1, 1}, {256, 1024}} {
+		calls := 0
+		ForChunked(c.n, c.grain, func(lo, hi int) {
+			calls++
+			if lo != 0 || hi != c.n {
+				t.Errorf("n=%d grain=%d: chunk [%d,%d), want [0,%d)", c.n, c.grain, lo, hi, c.n)
+			}
+			if g := gid(); g != caller {
+				t.Errorf("n=%d grain=%d: ran on goroutine %s, want inline on %s", c.n, c.grain, g, caller)
+			}
+		})
+		if calls != 1 {
+			t.Errorf("n=%d grain=%d: %d body calls, want 1", c.n, c.grain, calls)
+		}
+	}
+}
+
+func TestForChunkedRespectsGrain(t *testing.T) {
+	// When it does go parallel, every chunk except the last must hold at
+	// least grain iterations.
+	const n, grain = 10000, 64
+	var minSeen atomic.Int64
+	minSeen.Store(n)
+	var last atomic.Int64
+	ForChunked(n, grain, func(lo, hi int) {
+		if hi == n {
+			last.Store(int64(hi - lo))
+			return
+		}
+		for {
+			cur := minSeen.Load()
+			if int64(hi-lo) >= cur || minSeen.CompareAndSwap(cur, int64(hi-lo)) {
+				break
+			}
+		}
+	})
+	if minSeen.Load() < grain {
+		t.Fatalf("non-final chunk of %d iterations, want >= %d", minSeen.Load(), grain)
+	}
+}
+
+func TestForSmallLoopRunsInline(t *testing.T) {
+	caller := gid()
+	For(100, func(i int) {
+		if g := gid(); g != caller {
+			t.Fatalf("For(100) iteration ran on goroutine %s, want inline", g)
+		}
+	})
+}
 
 func TestForCoversAllIndices(t *testing.T) {
 	for _, n := range []int{0, 1, 7, 255, 256, 1000, 4096} {

@@ -1,0 +1,131 @@
+package replica
+
+import (
+	"testing"
+
+	"effnetscale/internal/bf16"
+	"effnetscale/internal/data"
+	"effnetscale/internal/schedule"
+)
+
+// TestPrefetchMatchesInline is the acceptance test for the input pipeline:
+// with augmentation on, the prefetched engine (default) and the synchronous
+// engine must produce bitwise-identical loss trajectories and weights.
+func TestPrefetchMatchesInline(t *testing.T) {
+	mk := func(prefetch int) *Engine {
+		cfg := miniEngineConfig(4, 4, 4)
+		cfg.NoAugment = false
+		cfg.GradAccumSteps = 2
+		cfg.PrefetchDepth = prefetch
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	pre, inline := mk(0), mk(PrefetchOff)
+	defer pre.Close()
+	if pre.Prefetching() == 0 {
+		t.Fatal("default config did not enable prefetching")
+	}
+	if inline.Prefetching() != 0 {
+		t.Fatal("PrefetchOff did not disable prefetching")
+	}
+	steps := pre.StepsPerEpoch() + 2 // cross an epoch boundary
+	for i := 0; i < steps; i++ {
+		rp, ri := pre.Step(), inline.Step()
+		if rp.Loss != ri.Loss || rp.Accuracy != ri.Accuracy {
+			t.Fatalf("step %d: prefetched (loss %v acc %v) != inline (loss %v acc %v)", i, rp.Loss, rp.Accuracy, ri.Loss, ri.Accuracy)
+		}
+	}
+	pp, ip := pre.Replica(0).Model.Params(), inline.Replica(0).Model.Params()
+	for i := range pp {
+		a, b := pp[i].Data().Data(), ip[i].Data().Data()
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("weights diverged at %s[%d]", pp[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestPrefetchedEvalMatchesInline(t *testing.T) {
+	mk := func(prefetch int) *Engine {
+		cfg := miniEngineConfig(4, 4, 1) // val split 64, shard 16 per rank
+		cfg.PrefetchDepth = prefetch
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	pre, inline := mk(0), mk(PrefetchOff)
+	defer pre.Close()
+	// Ragged cap: 10 samples per replica at batch 4 forces a partial final
+	// batch on both paths.
+	for _, cap := range []int{0, 10} {
+		if a, b := pre.Evaluate(cap), inline.Evaluate(cap); a != b {
+			t.Fatalf("Evaluate(%d): prefetched %v != inline %v", cap, a, b)
+		}
+	}
+	accP, nP := pre.EvaluateSerial(10)
+	accI, nI := inline.EvaluateSerial(10)
+	if accP != accI || nP != nI {
+		t.Fatalf("EvaluateSerial: prefetched (%v, %d) != inline (%v, %d)", accP, nP, accI, nI)
+	}
+	// Reusing the eval pool across calls must not change results.
+	if a, b := pre.Evaluate(10), inline.Evaluate(10); a != b {
+		t.Fatalf("second Evaluate: prefetched %v != inline %v", a, b)
+	}
+}
+
+func TestEvaluateWithEmptyValShards(t *testing.T) {
+	// ValSize < World: some ranks hold empty validation shards. They must
+	// contribute zero counts to the all-reduce instead of panicking.
+	for _, prefetch := range []int{0, PrefetchOff} {
+		ds := data.New(data.Config{NumClasses: 2, TrainSize: 16, ValSize: 2, Resolution: 16, NoiseStd: 0.25, Seed: 1})
+		e, err := New(Config{
+			World: 4, PerReplicaBatch: 2, Model: "pico", Dataset: ds,
+			OptimizerName: "sgd", Schedule: schedule.Constant(0.05),
+			Precision: bf16.FP32Policy, Seed: 1, NoAugment: true,
+			PrefetchDepth: prefetch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := e.Evaluate(0)
+		if acc < 0 || acc > 1 {
+			t.Fatalf("prefetch=%d: eval accuracy %v out of range", prefetch, acc)
+		}
+		e.Close()
+	}
+}
+
+func TestTrainSplitSmallerThanWorldErrors(t *testing.T) {
+	ds := data.New(data.Config{NumClasses: 2, TrainSize: 2, ValSize: 2, Resolution: 16, NoiseStd: 0.25, Seed: 1})
+	_, err := New(Config{
+		World: 4, PerReplicaBatch: 1, Model: "pico", Dataset: ds,
+		OptimizerName: "sgd", Schedule: schedule.Constant(0.05),
+		Precision: bf16.FP32Policy, Seed: 1, NoAugment: true,
+	})
+	if err == nil {
+		t.Fatal("train split smaller than world must error, not panic later")
+	}
+}
+
+func TestCloseIsIdempotentAndStopsPipelines(t *testing.T) {
+	e, err := New(miniEngineConfig(2, 4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Step()
+	e.Close()
+	e.Close()
+	for r := 0; r < e.World(); r++ {
+		if pipe := e.Replica(r).pipe; pipe != nil {
+			if _, ok := pipe.Next(); ok {
+				t.Fatalf("rank %d pipeline still delivering after Close", r)
+			}
+		}
+	}
+}

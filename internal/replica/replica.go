@@ -103,7 +103,22 @@ type Config struct {
 	// all-reduced on a background stream while later buckets are still
 	// being flattened. 0 picks DefaultGradBucketBytes.
 	GradBucketBytes int
+	// PrefetchDepth configures the per-replica input pipeline: the number
+	// of rendered batches buffered ahead of the compute loop, with
+	// augmentation applied inside the pipeline. 0 means
+	// DefaultPrefetchDepth (prefetching is on by default); PrefetchOff
+	// disables it and renders every batch synchronously on the training
+	// critical path. Both paths produce bit-for-bit identical batches.
+	PrefetchDepth int
 }
+
+// DefaultPrefetchDepth is the input-pipeline depth when Config leaves
+// PrefetchDepth zero: with the in-use batch that is triple buffering — one
+// batch on the accelerator, one rendered and waiting, one rendering.
+const DefaultPrefetchDepth = 2
+
+// PrefetchOff disables the input pipeline (Config.PrefetchDepth).
+const PrefetchOff = -1
 
 // DefaultGradBucketBytes is the gradient bucket size when Config leaves
 // GradBucketBytes zero: 1 MiB, small enough to start communicating well
@@ -151,6 +166,19 @@ type Replica struct {
 	batch   *tensor.Tensor
 	labels  []int
 	accum   int
+
+	// pipe is the training input pipeline (nil when prefetch is off): it
+	// renders and augments micro-batches on a background goroutine so the
+	// compute loop never waits on host-side rendering.
+	pipe *data.Pipeline
+	// prefetch is the resolved pipeline depth (0 = off).
+	prefetch int
+	// res is the input resolution, needed to size evaluation buffers.
+	res int
+	// evalPool lazily holds reusable evaluation batch buffers, shared
+	// across this replica's evaluation pipelines so Evaluate allocates no
+	// tensors after the first call.
+	evalPool *data.BufferPool
 }
 
 // Algorithm reports the collective algorithm the engine's gradient
@@ -217,6 +245,18 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.GradBucketBytes < 4 {
 		return nil, fmt.Errorf("replica: grad bucket size %d bytes must hold at least one fp32 value", cfg.GradBucketBytes)
 	}
+	if cfg.Dataset.Config().TrainSize < cfg.World {
+		// Some ranks would hold empty train shards and the lockstep step
+		// loop could never feed them — the divide-by-zero this used to hit
+		// deep inside BatchIndices, surfaced as a configuration error.
+		return nil, fmt.Errorf("replica: train split (%d samples) smaller than world %d: every replica needs at least one sample", cfg.Dataset.Config().TrainSize, cfg.World)
+	}
+	if cfg.PrefetchDepth == 0 {
+		cfg.PrefetchDepth = DefaultPrefetchDepth
+	}
+	if cfg.PrefetchDepth < 0 {
+		cfg.PrefetchDepth = 0 // PrefetchOff: synchronous rendering
+	}
 	prov := cfg.Collective
 	if prov.IsZero() {
 		prov = comm.RingProvider()
@@ -267,22 +307,44 @@ func New(cfg Config) (*Engine, error) {
 		m.CopyWeightsFrom(ref)
 		opt, ok := optim.ByName(cfg.OptimizerName, cfg.WeightDecay)
 		if !ok {
+			e.Close() // stop pipelines of already-built replicas
 			return nil, fmt.Errorf("replica: unknown optimizer %q", cfg.OptimizerName)
 		}
 		rep := &Replica{
-			Rank:    r,
-			Model:   m,
-			coll:    colls[r],
-			opt:     opt,
-			train:   data.NewShard(cfg.Dataset, 0, r, cfg.World),
-			val:     data.NewShard(cfg.Dataset, 1, r, cfg.World),
-			ctx:     &nn.Ctx{Training: true, Precision: cfg.Precision, RNG: rand.New(rand.NewSource(cfg.Seed*1000 + int64(r)))},
-			augRNG:  rand.New(rand.NewSource(cfg.Seed*2000 + int64(r))),
-			gradBuf: make([]float32, e.gradLen),
-			buckets: e.buckets,
-			batch:   tensor.New(cfg.PerReplicaBatch, 3, modelCfg.Resolution, modelCfg.Resolution),
-			labels:  make([]int, cfg.PerReplicaBatch),
-			accum:   cfg.GradAccumSteps,
+			Rank:     r,
+			Model:    m,
+			coll:     colls[r],
+			opt:      opt,
+			train:    data.NewShard(cfg.Dataset, 0, r, cfg.World),
+			val:      data.NewShard(cfg.Dataset, 1, r, cfg.World),
+			ctx:      &nn.Ctx{Training: true, Precision: cfg.Precision, RNG: rand.New(rand.NewSource(cfg.Seed*1000 + int64(r)))},
+			augRNG:   rand.New(rand.NewSource(cfg.Seed*2000 + int64(r))),
+			gradBuf:  make([]float32, e.gradLen),
+			buckets:  e.buckets,
+			batch:    tensor.New(cfg.PerReplicaBatch, 3, modelCfg.Resolution, modelCfg.Resolution),
+			labels:   make([]int, cfg.PerReplicaBatch),
+			accum:    cfg.GradAccumSteps,
+			prefetch: cfg.PrefetchDepth,
+			res:      modelCfg.Resolution,
+		}
+		if rep.prefetch > 0 {
+			// The pipeline owns the training shard from here on: it renders
+			// micro-batches ahead of the compute loop, with augmentation
+			// drawn from the same per-replica seed the inline path uses, so
+			// both paths produce bit-for-bit identical batch streams.
+			pipe, err := data.NewPipeline(data.PipelineConfig{
+				Shard:         rep.train,
+				BatchSize:     cfg.PerReplicaBatch,
+				StepsPerEpoch: e.stepsPerEpoch * cfg.GradAccumSteps,
+				Depth:         rep.prefetch,
+				Augment:       !cfg.NoAugment,
+				AugmentSeed:   cfg.Seed*2000 + int64(r),
+			})
+			if err != nil {
+				e.Close()
+				return nil, fmt.Errorf("replica: input pipeline: %v", err)
+			}
+			rep.pipe = pipe
 		}
 		if cfg.EMADecay > 0 {
 			rep.ema = optim.NewWeightEMA(cfg.EMADecay)
@@ -303,6 +365,21 @@ func New(cfg Config) (*Engine, error) {
 	}
 	return e, nil
 }
+
+// Close stops every replica's input pipeline and waits for their producer
+// goroutines to exit. The engine must not Step or Evaluate after Close.
+// Close is idempotent.
+func (e *Engine) Close() {
+	for _, rep := range e.replicas {
+		if rep.pipe != nil {
+			rep.pipe.Stop()
+		}
+	}
+}
+
+// Prefetching reports the resolved input-pipeline depth (0 = synchronous
+// rendering).
+func (e *Engine) Prefetching() int { return e.cfg.PrefetchDepth }
 
 // GlobalBatch returns the effective global batch:
 // World × PerReplicaBatch × GradAccumSteps.
@@ -366,23 +443,45 @@ func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, worl
 	correct := 0
 	seen := 0
 	for k := 0; k < r.accum; k++ {
-		r.train.FillBatch(epoch, step*r.accum+k, r.batch, r.labels)
-		if augment {
-			data.Augment(r.batch, r.augRNG)
+		// The prefetched path consumes the next micro-batch from the input
+		// pipeline, which rendered and augmented it in the background; the
+		// synchronous path renders inline. Batch contents are bit-for-bit
+		// identical either way.
+		imgs, labels := r.batch, r.labels
+		var pb *data.Batch
+		if r.pipe != nil {
+			var ok bool
+			pb, ok = r.pipe.Next()
+			if !ok {
+				panic("replica: input pipeline closed mid-training (engine used after Close?)")
+			}
+			if pb.Epoch != epoch || pb.Step != step*r.accum+k {
+				panic(fmt.Sprintf("replica: input pipeline out of lockstep: batch (%d,%d), want (%d,%d)", pb.Epoch, pb.Step, epoch, step*r.accum+k))
+			}
+			imgs, labels = pb.Images, pb.Labels
+		} else {
+			r.train.FillBatch(epoch, step*r.accum+k, r.batch, r.labels)
+			if augment {
+				data.Augment(r.batch, r.augRNG)
+			}
 		}
-		x := autograd.Constant(r.batch)
+		x := autograd.Constant(imgs)
 		logits := r.Model.Forward(r.ctx, x)
-		loss := autograd.SoftmaxCrossEntropy(logits, r.labels, smoothing)
+		loss := autograd.SoftmaxCrossEntropy(logits, labels, smoothing)
 		loss.Backward()
 
 		pred := autograd.Argmax(logits.T)
-		for i, l := range r.labels {
+		for i, l := range labels {
 			if pred[i] == l {
 				correct++
 			}
 		}
-		lossSum += float64(loss.T.Data()[0]) * float64(len(r.labels))
-		seen += len(r.labels)
+		lossSum += float64(loss.T.Data()[0]) * float64(len(labels))
+		seen += len(labels)
+		if pb != nil {
+			// The tape is done with the pixels; let the producer reuse them.
+			r.pipe.Recycle(pb)
+		}
 	}
 
 	// Flatten gradients bucket by bucket, overlapping communication with
@@ -495,29 +594,72 @@ func (e *Engine) EvaluateSerial(maxSamples int) (float64, int) {
 	if maxSamples > 0 && maxSamples < n {
 		n = maxSamples
 	}
+	if n == 0 {
+		return 0, 0
+	}
+	correct, total := r.scoreShard(shard, n)
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(correct) / float64(total), total
+}
+
+// scoreShard scores the first n validation samples of shard in eval mode and
+// returns the correct/total counts. With prefetching enabled the batches are
+// rendered ahead by a bounded pipeline drawing on this replica's reusable
+// evaluation buffers (allocated once, on first use); either way the ragged
+// final batch renders only the samples actually scored — the wrap-around
+// tail that used to be rendered and then discarded is never drawn. n must be
+// >= 1 and shard non-empty.
+func (r *Replica) scoreShard(shard *data.Shard, n int) (correct, total int) {
 	bs := r.batch.Dim(0)
 	ctx := &nn.Ctx{Training: false, Precision: r.ctx.Precision}
-	correct, total := 0, 0
-	for lo := 0; lo < n; lo += bs {
-		cnt := bs
-		if lo+cnt > n {
-			cnt = n - lo
-		}
-		// Reuse the full batch tensor; only the first cnt entries count.
-		shard.FillBatch(0, lo/bs, r.batch, r.labels)
-		logits := r.Model.Forward(ctx, autograd.Constant(r.batch))
+	score := func(imgs *tensor.Tensor, labels []int, cnt int) {
+		logits := r.Model.Forward(ctx, autograd.Constant(imgs))
 		pred := autograd.Argmax(logits.T)
 		for i := 0; i < cnt; i++ {
-			if pred[i] == r.labels[i] {
+			if pred[i] == labels[i] {
 				correct++
 			}
 		}
 		total += cnt
 	}
-	if total == 0 {
-		return 0, 0
+	if r.prefetch > 0 {
+		if r.evalPool == nil {
+			r.evalPool = data.NewBufferPool(r.prefetch+1, bs, r.res)
+		}
+		p, err := data.NewPipeline(data.PipelineConfig{
+			Shard:         shard,
+			BatchSize:     bs,
+			StepsPerEpoch: (n + bs - 1) / bs,
+			Depth:         r.prefetch,
+			MaxSamples:    n,
+			Pool:          r.evalPool,
+		})
+		if err == nil {
+			defer p.Stop()
+			for {
+				b, ok := p.Next()
+				if !ok {
+					break
+				}
+				score(b.Images, b.Labels, b.N)
+				p.Recycle(b)
+			}
+			return correct, total
+		}
+		// Never skip evaluation over a pipeline problem: score inline.
 	}
-	return float64(correct) / float64(total), total
+	for lo := 0; lo < n; lo += bs {
+		cnt := bs
+		if lo+cnt > n {
+			cnt = n - lo
+		}
+		// Reuse the batch tensor; only the first cnt entries are rendered.
+		shard.FillBatchN(0, lo/bs, cnt, r.batch, r.labels)
+		score(r.batch, r.labels, cnt)
+	}
+	return correct, total
 }
 
 func (r *Replica) evaluate(maxSamples int) float64 {
@@ -531,24 +673,12 @@ func (r *Replica) evaluate(maxSamples int) float64 {
 	if maxSamples > 0 && maxSamples < n {
 		n = maxSamples
 	}
-	bs := r.batch.Dim(0)
-	ctx := &nn.Ctx{Training: false, Precision: r.ctx.Precision}
 	correct, total := 0, 0
-	for lo := 0; lo < n; lo += bs {
-		cnt := bs
-		if lo+cnt > n {
-			cnt = n - lo
-		}
-		// Reuse the full batch tensor; only the first cnt entries count.
-		r.val.FillBatch(0, lo/bs, r.batch, r.labels)
-		logits := r.Model.Forward(ctx, autograd.Constant(r.batch))
-		pred := autograd.Argmax(logits.T)
-		for i := 0; i < cnt; i++ {
-			if pred[i] == r.labels[i] {
-				correct++
-			}
-		}
-		total += cnt
+	if n > 0 {
+		// Empty validation shards (split smaller than the world) score
+		// nothing but still join the metric all-reduce below — the
+		// collective is lockstep across all ranks.
+		correct, total = r.scoreShard(r.val, n)
 	}
 	sums := []float64{float64(correct), float64(total)}
 	r.coll.AllReduceF64(sums)

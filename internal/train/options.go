@@ -6,6 +6,7 @@ import (
 	"effnetscale/internal/bf16"
 	"effnetscale/internal/comm"
 	"effnetscale/internal/data"
+	"effnetscale/internal/replica"
 	"effnetscale/internal/schedule"
 	"effnetscale/internal/topology"
 )
@@ -68,6 +69,7 @@ type config struct {
 
 	collective  comm.Provider
 	gradBuckets int
+	prefetch    int
 
 	epochs      int
 	evalEvery   int
@@ -265,6 +267,33 @@ func WithGradBuckets(bytes int) Option {
 			return fmt.Errorf("train: grad bucket size %d bytes must hold at least one fp32 value", bytes)
 		}
 		c.gradBuckets = bytes
+		return nil
+	}
+}
+
+// WithPrefetch sets the per-replica input-pipeline depth: the number of
+// rendered batches buffered ahead of the compute loop, with rendering and
+// augmentation running on a background goroutine per replica. Prefetching is
+// on by default (depth replica.DefaultPrefetchDepth); this option tunes the
+// depth. The prefetched and synchronous paths produce bit-for-bit identical
+// batches, so this is purely a throughput knob. Call Session.Close when done
+// with a Session to release the pipeline goroutines.
+func WithPrefetch(depth int) Option {
+	return func(c *config) error {
+		if depth < 1 {
+			return fmt.Errorf("train: prefetch depth %d must be >= 1 (use WithoutPrefetch to disable)", depth)
+		}
+		c.prefetch = depth
+		return nil
+	}
+}
+
+// WithoutPrefetch disables the input pipeline: every batch is rendered and
+// augmented synchronously on the training critical path — the pre-pipeline
+// behaviour, useful for ablations and single-goroutine debugging.
+func WithoutPrefetch() Option {
+	return func(c *config) error {
+		c.prefetch = replica.PrefetchOff
 		return nil
 	}
 }

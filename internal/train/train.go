@@ -101,6 +101,7 @@ func New(opts ...Option) (*Session, error) {
 		EMADecay:            c.emaDecay,
 		Collective:          c.collective,
 		GradBucketBytes:     c.gradBuckets,
+		PrefetchDepth:       c.prefetch,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("train: %w", err)
@@ -116,6 +117,11 @@ func New(opts ...Option) (*Session, error) {
 // Engine exposes the underlying replica engine for direct inspection
 // (WeightsInSync, Replica, StepsPerEpoch, ...).
 func (s *Session) Engine() *replica.Engine { return s.eng }
+
+// Close releases the engine's input-pipeline goroutines and buffers. A
+// Session must not Run after Close. Idempotent; a no-op when prefetching is
+// disabled.
+func (s *Session) Close() { s.eng.Close() }
 
 // GlobalBatch returns the effective global batch size.
 func (s *Session) GlobalBatch() int { return s.eng.GlobalBatch() }

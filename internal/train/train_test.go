@@ -56,6 +56,7 @@ func TestOptionValidationErrors(t *testing.T) {
 		{"nil option", []Option{nil}, "nil Option"},
 		{"empty model", []Option{WithModel("")}, "model name"},
 		{"empty ckpt path", []Option{WithBestCheckpoint("")}, "checkpoint path"},
+		{"bad prefetch", []Option{WithPrefetch(0)}, "prefetch depth"},
 		{"bn group does not divide", miniOpts(4, 2, 3), "does not divide"},
 		{"unknown model", miniOpts(2, 2, 1, WithModel("b99")), "unknown model"},
 		{"unknown optimizer", miniOpts(2, 2, 1, WithOptimizer("adagrad", 0)), "unknown optimizer"},
@@ -71,6 +72,46 @@ func TestOptionValidationErrors(t *testing.T) {
 			}
 		})
 	}
+}
+
+func TestPrefetchOptionsPlumbThrough(t *testing.T) {
+	on, err := New(miniOpts(2, 4, 1, WithPrefetch(3))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer on.Close()
+	if got := on.Engine().Prefetching(); got != 3 {
+		t.Fatalf("WithPrefetch(3): engine depth %d", got)
+	}
+	off, err := New(miniOpts(2, 4, 1, WithoutPrefetch())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := off.Engine().Prefetching(); got != 0 {
+		t.Fatalf("WithoutPrefetch: engine depth %d, want 0", got)
+	}
+	def, err := New(miniOpts(2, 4, 1)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer def.Close()
+	if got := def.Engine().Prefetching(); got != replica.DefaultPrefetchDepth {
+		t.Fatalf("default: engine depth %d, want %d", got, replica.DefaultPrefetchDepth)
+	}
+	// Both modes must run and agree on the trajectory (no augmentation, so
+	// the only difference is who renders).
+	resOn, err := on.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOff, err := off.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resOn.PeakAccuracy != resOff.PeakAccuracy {
+		t.Fatalf("prefetched peak %v != synchronous peak %v", resOn.PeakAccuracy, resOff.PeakAccuracy)
+	}
+	on.Close() // double Close is safe
 }
 
 func TestDecayByName(t *testing.T) {
