@@ -57,9 +57,14 @@ func main() {
 		collective = flag.String("collective", "ring", "gradient/BN all-reduce algorithm: ring, tree, torus2d, auto")
 		gradBucket = flag.Int("grad-bucket", 0, "gradient bucket size in bytes for overlapped reduction (0 = default 1 MiB)")
 		prefetch   = flag.Int("prefetch", replica.DefaultPrefetchDepth, "input-pipeline depth: batches rendered ahead per replica (0 = render synchronously on the training path)")
-		saveCkpt   = flag.String("save", "", "write a checkpoint of replica 0's model here after training")
-		bestCkpt   = flag.String("save-best", "", "write a checkpoint here after every best-so-far evaluation")
-		loadCkpt   = flag.String("load", "", "load a checkpoint into every replica before training")
+		saveCkpt   = flag.String("save", "", "write a weights-only checkpoint of replica 0's model here after training")
+		bestCkpt   = flag.String("save-best", "", "write a weights-only checkpoint here after every best-so-far evaluation")
+		loadCkpt   = flag.String("load", "", "load a weights-only checkpoint into every replica before training")
+		snapDir    = flag.String("snapshot-dir", "", "directory for periodic full training-state snapshots (step-<n>.ckpt)")
+		snapEvery  = flag.Int("snapshot-every", 0, "write a training-state snapshot every N steps (0 = off; needs -snapshot-dir)")
+		keepLast   = flag.Int("keep-last", 3, "retain only the N most recent snapshots (0 = keep all)")
+		resume     = flag.String("resume", "", "resume bit-for-bit from a snapshot file or directory (newest readable snapshot wins)")
+		killAt     = flag.Int("kill-at-step", 0, "crash the process (exit 3) after this global step — preemption drill for the resume path (0 = off)")
 	)
 	flag.Parse()
 
@@ -127,6 +132,28 @@ func main() {
 	if *bestCkpt != "" {
 		opts = append(opts, train.WithBestCheckpoint(*bestCkpt))
 	}
+	if *snapDir != "" {
+		opts = append(opts, train.WithSnapshotDir(*snapDir), train.WithKeepLast(*keepLast))
+	}
+	if *snapEvery > 0 {
+		opts = append(opts, train.WithSnapshotEvery(*snapEvery))
+	}
+	if *resume != "" {
+		opts = append(opts, train.WithResume(*resume))
+	}
+	if *killAt > 0 {
+		opts = append(opts, train.WithCallbacks(train.Funcs{
+			Step: func(s *train.Session, step int, _ replica.StepResult) {
+				if step >= *killAt {
+					// Simulated preemption: no flushing, no goodbyes — the
+					// resume path must cope with whatever snapshots already
+					// made it to disk.
+					fmt.Printf("effnettrain: killed at step %d (preemption drill)\n", step)
+					os.Exit(3)
+				}
+			},
+		}))
+	}
 
 	sess, err := train.New(opts...)
 	if err != nil {
@@ -140,6 +167,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("effnettrain: restored %s into %d replicas\n", *loadCkpt, *replicas)
+	}
+	if path, step, ok := sess.ResumedFrom(); ok {
+		fmt.Printf("effnettrain: resumed from %s at step %d\n", path, step)
 	}
 
 	fmt.Printf("effnettrain: %s on %d replicas, global batch %d, %s + %s decay (peak LR %.3f), BN group %d, %s all-reduce, %s eval, prefetch %d\n",

@@ -1,7 +1,15 @@
-// Package checkpoint serializes model weights and batch-norm running
-// statistics with encoding/gob, so trained mini-scale models can be saved,
-// reloaded and served. Checkpoints are keyed by parameter name and validated
-// on load (missing/mismatched shapes are errors, not silent corruption).
+// Package checkpoint is the versioned training-state snapshot subsystem: a
+// component-based Snapshot format that captures everything a resumed run
+// needs to continue bit-for-bit (model weights and BN statistics, optimizer
+// slots, EMA shadow weights, loop position, per-replica RNG and data-pipeline
+// cursors), an async Writer that persists snapshots atomically (fsync +
+// rename) off the training critical path, and the legacy weights-only format
+// (SaveWeights/LoadWeights) kept for serving trained models.
+//
+// Stateful subsystems participate through the StateCodec interface; the
+// replica engine composes their components into full snapshots
+// (replica.Engine.CaptureState / RestoreState), and the train package
+// surfaces the end-to-end story (train.WithSnapshotEvery, train.WithResume).
 package checkpoint
 
 import (
@@ -9,15 +17,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 
 	"effnetscale/internal/efficientnet"
+	"effnetscale/internal/nn"
 )
 
-// fileFormat is bumped on incompatible layout changes.
-const fileFormat = 1
+// weightsFormat is the legacy weights-only format version.
+const weightsFormat = 1
 
-// snapshot is the on-disk representation.
-type snapshot struct {
+// weightsFile is the on-disk representation of the legacy weights-only
+// format (the gob layout of the original checkpoint.Save).
+type weightsFile struct {
 	Format     int
 	ModelName  string
 	NumClasses int
@@ -32,10 +44,12 @@ type tensorBlob struct {
 	Data  []float32
 }
 
-// Save writes the model's parameters and BN running statistics to w.
-func Save(w io.Writer, m *efficientnet.Model) error {
-	s := snapshot{
-		Format:     fileFormat,
+// SaveWeights writes the model's parameters and BN running statistics to w
+// in the weights-only serving format (previously checkpoint.Save). Full
+// training state belongs in a Snapshot instead.
+func SaveWeights(w io.Writer, m *efficientnet.Model) error {
+	s := weightsFile{
+		Format:     weightsFormat,
 		ModelName:  m.Config.Name,
 		NumClasses: m.Config.NumClasses,
 		Resolution: m.Config.Resolution,
@@ -57,15 +71,19 @@ func Save(w io.Writer, m *efficientnet.Model) error {
 	return gob.NewEncoder(w).Encode(s)
 }
 
-// Load restores parameters and BN statistics into m, which must have the
-// same architecture the checkpoint was saved from.
-func Load(r io.Reader, m *efficientnet.Model) error {
-	var s snapshot
+// LoadWeights restores parameters and BN statistics into m, which must have
+// the same architecture the checkpoint was saved from (previously
+// checkpoint.Load). Files written by the old Save load unchanged.
+func LoadWeights(r io.Reader, m *efficientnet.Model) error {
+	var s weightsFile
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
 		return fmt.Errorf("checkpoint: decode: %w", err)
 	}
-	if s.Format != fileFormat {
-		return fmt.Errorf("checkpoint: unsupported format %d (want %d)", s.Format, fileFormat)
+	if s.Format != weightsFormat {
+		if s.Format == SnapshotFormat {
+			return fmt.Errorf("checkpoint: file is a full training snapshot (format %d); restore it with ReadSnapshot / train.WithResume, or extract weights via the model codec", SnapshotFormat)
+		}
+		return fmt.Errorf("checkpoint: unsupported format %d (want %d)", s.Format, weightsFormat)
 	}
 	if s.ModelName != m.Config.Name {
 		return fmt.Errorf("checkpoint: saved from model %q, loading into %q", s.ModelName, m.Config.Name)
@@ -98,31 +116,121 @@ func Load(r io.Reader, m *efficientnet.Model) error {
 	return nil
 }
 
-// SaveFile writes a checkpoint to path atomically (write + rename).
-func SaveFile(path string, m *efficientnet.Model) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := Save(f, m); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+// SaveWeightsFile writes a weights-only checkpoint to path atomically and
+// durably (temp file + fsync + rename + directory fsync; previously
+// checkpoint.SaveFile, which renamed without syncing).
+func SaveWeightsFile(path string, m *efficientnet.Model) error {
+	return writeFileAtomic(path, func(w io.Writer) error { return SaveWeights(w, m) })
 }
 
-// LoadFile restores a checkpoint from path.
-func LoadFile(path string, m *efficientnet.Model) error {
+// LoadWeightsFile restores a weights-only checkpoint from path (previously
+// checkpoint.LoadFile).
+func LoadWeightsFile(path string, m *efficientnet.Model) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return Load(f, m)
+	return LoadWeights(f, m)
+}
+
+// --- Model state codec --------------------------------------------------------
+
+// modelState adapts an EfficientNet model to the StateCodec interface:
+// parameters keyed by name ("param/<name>") plus BN running statistics in
+// layer order ("bn/<i>/mean", "bn/<i>/var") and the model identity, all
+// validated on restore.
+type modelState struct {
+	m *efficientnet.Model
+}
+
+// ModelState returns the model's snapshot codec (component "model").
+func ModelState(m *efficientnet.Model) StateCodec { return modelState{m} }
+
+// StateKey implements StateCodec.
+func (modelState) StateKey() string { return "model" }
+
+// CaptureState implements StateCodec.
+func (s modelState) CaptureState() (Component, error) {
+	c := Component{}
+	c.PutStr("family", s.m.Config.Name)
+	c.PutI64("classes", int64(s.m.Config.NumClasses))
+	c.PutI64("resolution", int64(s.m.Config.Resolution))
+	if _, err := nn.ParamIndex(s.m.Params()); err != nil {
+		return nil, err
+	}
+	for _, p := range s.m.Params() {
+		c.PutF32("param/"+p.Name, p.Data().Shape(), p.Data().Data())
+	}
+	for i, bn := range s.m.BatchNorms() {
+		c.PutF32(fmt.Sprintf("bn/%d/mean", i), bn.RunningMean.Shape(), bn.RunningMean.Data())
+		c.PutF32(fmt.Sprintf("bn/%d/var", i), bn.RunningVar.Shape(), bn.RunningVar.Data())
+	}
+	return c, nil
+}
+
+// RestoreState implements StateCodec. Every model parameter and BN layer
+// must be present with matching shape, and the component must carry nothing
+// the model does not have — extra state means the snapshot was taken from a
+// different architecture and silently dropping it would corrupt the resume.
+func (s modelState) RestoreState(c Component) error {
+	family, err := c.Str("family")
+	if err != nil {
+		return err
+	}
+	if family != s.m.Config.Name {
+		return fmt.Errorf("snapshot saved from model %q, restoring into %q", family, s.m.Config.Name)
+	}
+	classes, err := c.I64("classes")
+	if err != nil {
+		return err
+	}
+	if int(classes) != s.m.Config.NumClasses {
+		return fmt.Errorf("snapshot has %d classes, model has %d", classes, s.m.Config.NumClasses)
+	}
+	res, err := c.I64("resolution")
+	if err != nil {
+		return err
+	}
+	if int(res) != s.m.Config.Resolution {
+		return fmt.Errorf("snapshot at resolution %d, model at %d", res, s.m.Config.Resolution)
+	}
+	known := map[string]bool{"family": true, "classes": true, "resolution": true}
+	for _, p := range s.m.Params() {
+		key := "param/" + p.Name
+		data, err := c.F32(key, p.Data().Shape())
+		if err != nil {
+			return err
+		}
+		copy(p.Data().Data(), data)
+		known[key] = true
+	}
+	for i, bn := range s.m.BatchNorms() {
+		for _, kv := range []struct {
+			key string
+			dst []float32
+			sh  []int
+		}{
+			{fmt.Sprintf("bn/%d/mean", i), bn.RunningMean.Data(), bn.RunningMean.Shape()},
+			{fmt.Sprintf("bn/%d/var", i), bn.RunningVar.Data(), bn.RunningVar.Shape()},
+		} {
+			data, err := c.F32(kv.key, kv.sh)
+			if err != nil {
+				return err
+			}
+			copy(kv.dst, data)
+			known[kv.key] = true
+		}
+	}
+	var extra []string
+	for key := range c {
+		if !known[key] {
+			extra = append(extra, key)
+		}
+	}
+	if len(extra) > 0 {
+		sort.Strings(extra)
+		return fmt.Errorf("snapshot carries state the model does not have: %s", strings.Join(extra, ", "))
+	}
+	return nil
 }

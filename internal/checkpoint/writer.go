@@ -1,0 +1,142 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// WriteEvent reports the outcome of one asynchronous snapshot write.
+type WriteEvent struct {
+	Step int64
+	Path string
+	Err  error
+}
+
+// Writer persists snapshots to a directory on a background goroutine, off
+// the training critical path: the training loop captures state (a memory
+// copy) at a step boundary, enqueues it, and keeps stepping while the writer
+// gob-encodes and fsyncs the file. Writes are atomic and durable
+// (WriteSnapshotFile), named step-<n>.ckpt, and pruned to the most recent
+// KeepLast snapshots. Outcomes are collected as WriteEvents the owner drains
+// from its own goroutine — the writer never calls back into training code.
+type Writer struct {
+	dir  string
+	keep int
+
+	jobs    chan writeJob
+	done    chan struct{}
+	pending sync.WaitGroup
+
+	mu      sync.Mutex
+	events  []WriteEvent
+	history []string // snapshot paths on disk, oldest first
+	closed  bool
+}
+
+type writeJob struct {
+	step int64
+	snap *Snapshot
+}
+
+// NewWriter starts a snapshot writer over dir (created if missing). keep
+// bounds how many snapshots are retained on disk (0 = keep all); snapshots
+// already in dir from an earlier process count against the bound, so a
+// crash-resume loop does not accumulate files forever.
+func NewWriter(dir string, keep int) (*Writer, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("checkpoint: writer needs a directory")
+	}
+	if keep < 0 {
+		return nil, fmt.Errorf("checkpoint: keep-last %d must be >= 0", keep)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// Sweep temp droppings a crash left mid-write; they are unreadable by
+	// construction (the rename never happened) and would otherwise
+	// accumulate across crash/resume cycles.
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if !e.IsDir() && strings.Contains(e.Name(), ".ckpt.tmp-") {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
+	existing, err := ListSnapshots(dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{
+		dir:     dir,
+		keep:    keep,
+		jobs:    make(chan writeJob, 1),
+		done:    make(chan struct{}),
+		history: existing,
+	}
+	go w.run()
+	return w, nil
+}
+
+// Dir returns the directory snapshots are written to.
+func (w *Writer) Dir() string { return w.dir }
+
+// Enqueue hands a snapshot to the background writer. It blocks only when a
+// write is already in flight and one more is queued — back-pressure instead
+// of unbounded snapshot copies in memory. Enqueue must not be called
+// concurrently with Close.
+func (w *Writer) Enqueue(step int64, snap *Snapshot) {
+	w.pending.Add(1)
+	w.jobs <- writeJob{step: step, snap: snap}
+}
+
+// Drain returns the write outcomes recorded since the last call. The
+// training loop polls it from its own goroutine to surface failures as
+// first-class results without the writer calling into loop code.
+func (w *Writer) Drain() []WriteEvent {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	evs := w.events
+	w.events = nil
+	return evs
+}
+
+// Flush blocks until every enqueued snapshot has been written (or failed).
+func (w *Writer) Flush() { w.pending.Wait() }
+
+// Close flushes outstanding writes and stops the writer. Idempotent.
+func (w *Writer) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.jobs)
+	<-w.done
+}
+
+// run is the writer goroutine: write, record the outcome, prune.
+func (w *Writer) run() {
+	defer close(w.done)
+	for job := range w.jobs {
+		path := filepath.Join(w.dir, snapshotName(job.step))
+		err := WriteSnapshotFile(path, job.snap)
+		w.mu.Lock()
+		w.events = append(w.events, WriteEvent{Step: job.step, Path: path, Err: err})
+		if err == nil {
+			w.history = append(w.history, path)
+			for w.keep > 0 && len(w.history) > w.keep {
+				// Pruning failures are ignored: stale snapshots are
+				// harmless, and the fresh write already succeeded.
+				os.Remove(w.history[0])
+				w.history = w.history[1:]
+			}
+		}
+		w.mu.Unlock()
+		w.pending.Done()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"effnetscale/internal/rng"
 	"effnetscale/internal/tensor"
 )
 
@@ -21,6 +22,13 @@ type Batch struct {
 	// N < Images.Dim(0): only the first N samples were rendered (the
 	// wrap-around tail is never drawn), and entries past N are stale.
 	N int
+	// AugDraws is the cumulative augmentation-RNG position (rng.Stream
+	// draws since AugmentSeed) after this batch was augmented — the
+	// data-pipeline cursor a training snapshot records. The producer runs
+	// ahead of the consumer, so the live stream's position belongs to
+	// batches not yet consumed; the per-batch stamp is the position as of
+	// what the consumer has actually seen. 0 when augmentation is off.
+	AugDraws uint64
 
 	// pooled tracks whether the batch currently sits in its BufferPool's
 	// free list, so a double Recycle fails loudly instead of silently
@@ -101,6 +109,16 @@ type PipelineConfig struct {
 	// consumed from its per-replica RNG.
 	Augment     bool
 	AugmentSeed int64
+	// StartEpoch/StartStep position the first delivered batch mid-stream:
+	// a pipeline restored from a training snapshot resumes at the exact
+	// (epoch, step) the interrupted run would have consumed next, including
+	// mid-epoch. Both default to 0 (a fresh run).
+	StartEpoch int
+	StartStep  int
+	// AugDraws fast-forwards the augmentation stream to the given position
+	// (draws already consumed from AugmentSeed's sequence) before the first
+	// batch renders — the Batch.AugDraws stamp the snapshot recorded.
+	AugDraws uint64
 	// MaxSamples, when > 0, makes the run finite: the pipeline delivers
 	// ceil(MaxSamples/BatchSize) batches starting at epoch 0 step 0 — the
 	// last one ragged (Batch.N < BatchSize) when BatchSize does not divide
@@ -143,6 +161,9 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	if cfg.StepsPerEpoch < 1 {
 		return nil, fmt.Errorf("data: pipeline steps per epoch %d must be >= 1", cfg.StepsPerEpoch)
 	}
+	if cfg.StartEpoch < 0 || cfg.StartStep < 0 || cfg.StartStep >= cfg.StepsPerEpoch {
+		return nil, fmt.Errorf("data: pipeline start position (%d, %d) out of range (steps per epoch %d)", cfg.StartEpoch, cfg.StartStep, cfg.StepsPerEpoch)
+	}
 	if cfg.Depth < 1 {
 		cfg.Depth = 1
 	}
@@ -167,17 +188,26 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 func (p *Pipeline) run() {
 	defer close(p.done)
 	defer close(p.ch)
-	var rng *rand.Rand
+	var augStream *rng.Stream
+	var augRand *rand.Rand
 	if p.cfg.Augment {
-		rng = rand.New(rand.NewSource(p.cfg.AugmentSeed))
+		// Resume support: the stream is positioned AugDraws transitions
+		// into the seed's sequence — 0 for a fresh run, the snapshot's
+		// recorded cursor when restoring.
+		augStream = rng.Restore(p.cfg.AugmentSeed, p.cfg.AugDraws)
+		augRand = augStream.Rand()
 	}
 	bs := p.cfg.BatchSize
 	remaining := -1 // infinite
 	if p.cfg.MaxSamples > 0 {
 		remaining = p.cfg.MaxSamples
 	}
-	for epoch := 0; ; epoch++ {
-		for step := 0; step < p.cfg.StepsPerEpoch; step++ {
+	for epoch := p.cfg.StartEpoch; ; epoch++ {
+		step := 0
+		if epoch == p.cfg.StartEpoch {
+			step = p.cfg.StartStep
+		}
+		for ; step < p.cfg.StepsPerEpoch; step++ {
 			if remaining == 0 {
 				return
 			}
@@ -189,10 +219,11 @@ func (p *Pipeline) run() {
 			if remaining > 0 && remaining < cnt {
 				cnt = remaining
 			}
-			b.Epoch, b.Step, b.N = epoch, step, cnt
+			b.Epoch, b.Step, b.N, b.AugDraws = epoch, step, cnt, 0
 			p.cfg.Shard.FillBatchN(epoch, step, cnt, b.Images, b.Labels)
 			if p.cfg.Augment {
-				Augment(b.Images, rng)
+				Augment(b.Images, augRand)
+				b.AugDraws = augStream.Draws()
 			}
 			select {
 			case p.ch <- b:

@@ -59,6 +59,83 @@ func TestPipelineMatchesInline(t *testing.T) {
 	}
 }
 
+func TestPipelineResumeCursorMatchesContinuousStream(t *testing.T) {
+	// A pipeline restarted mid-stream from (StartEpoch, StartStep, AugDraws)
+	// must deliver exactly the batches the original pipeline would have
+	// delivered next — pixels, labels and augmentation included. This is the
+	// data-side half of killed-at-step-k training resume.
+	d := miniDataset()
+	const bs, stepsPerEpoch, seed = 4, 3, 11
+	mk := func(startEpoch, startStep int, augDraws uint64) *Pipeline {
+		return newTestPipeline(t, PipelineConfig{
+			Shard: NewShard(d, 0, 0, 2), BatchSize: bs, StepsPerEpoch: stepsPerEpoch,
+			Depth: 2, Augment: true, AugmentSeed: seed,
+			StartEpoch: startEpoch, StartStep: startStep, AugDraws: augDraws,
+		})
+	}
+	full := mk(0, 0, 0)
+	defer full.Stop()
+
+	// Consume 4 batches (one past the epoch boundary at 3) and record the
+	// cursor the consumer would snapshot: mid-epoch interruption.
+	var draws uint64
+	for i := 0; i < 4; i++ {
+		b, ok := full.Next()
+		if !ok {
+			t.Fatal("pipeline closed early")
+		}
+		draws = b.AugDraws
+		if draws == 0 {
+			t.Fatal("AugDraws not stamped")
+		}
+		full.Recycle(b)
+	}
+	resumed := mk(1, 1, draws) // micro position 4 = epoch 1, step 1
+	defer resumed.Stop()
+	for i := 4; i < 9; i++ {
+		want, ok := full.Next()
+		if !ok {
+			t.Fatal("continuous pipeline closed early")
+		}
+		got, ok := resumed.Next()
+		if !ok {
+			t.Fatal("resumed pipeline closed early")
+		}
+		if got.Epoch != want.Epoch || got.Step != want.Step || got.AugDraws != want.AugDraws {
+			t.Fatalf("batch %d: resumed (%d,%d,%d) vs continuous (%d,%d,%d)",
+				i, got.Epoch, got.Step, got.AugDraws, want.Epoch, want.Step, want.AugDraws)
+		}
+		for j := range want.Labels {
+			if got.Labels[j] != want.Labels[j] {
+				t.Fatalf("batch %d label %d differs after resume", i, j)
+			}
+		}
+		for j, v := range want.Images.Data() {
+			if got.Images.Data()[j] != v {
+				t.Fatalf("batch %d pixel %d differs after resume", i, j)
+			}
+		}
+		full.Recycle(want)
+		resumed.Recycle(got)
+	}
+}
+
+func TestPipelineRejectsBadStartPosition(t *testing.T) {
+	d := miniDataset()
+	_, err := NewPipeline(PipelineConfig{
+		Shard: NewShard(d, 0, 0, 1), BatchSize: 2, StepsPerEpoch: 3, StartStep: 3,
+	})
+	if err == nil {
+		t.Fatal("StartStep >= StepsPerEpoch must error")
+	}
+	_, err = NewPipeline(PipelineConfig{
+		Shard: NewShard(d, 0, 0, 1), BatchSize: 2, StepsPerEpoch: 3, StartEpoch: -1,
+	})
+	if err == nil {
+		t.Fatal("negative StartEpoch must error")
+	}
+}
+
 func TestPipelineStopBlocksUntilProducerExits(t *testing.T) {
 	d := miniDataset()
 	p := newTestPipeline(t, PipelineConfig{

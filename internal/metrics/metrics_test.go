@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -26,6 +28,51 @@ func TestTopKAllCorrect(t *testing.T) {
 	top1, top1b := TopK(logits, 2, 2, 1, []int{0, 1})
 	if top1 != 2 || top1b != 2 {
 		t.Fatalf("TopK = %d,%d, want 2,2", top1, top1b)
+	}
+}
+
+// referenceTopK is the straightforward sort-based implementation (stable,
+// earlier index wins ties) the scan-based TopK must agree with.
+func referenceTopK(logits []float32, rows, cols, k int, labels []int) (top1, topk int) {
+	for r := 0; r < rows; r++ {
+		row := logits[r*cols : (r+1)*cols]
+		order := make([]int, cols)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return row[order[a]] > row[order[b]] })
+		if order[0] == labels[r] {
+			top1++
+		}
+		for i := 0; i < k && i < cols; i++ {
+			if order[i] == labels[r] {
+				topk++
+				break
+			}
+		}
+	}
+	return top1, topk
+}
+
+func TestTopKMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		rows, cols, k := 1+rng.Intn(8), 2+rng.Intn(40), 1+rng.Intn(6)
+		logits := make([]float32, rows*cols)
+		labels := make([]int, rows)
+		for i := range logits {
+			// Coarse quantization forces plenty of exact ties.
+			logits[i] = float32(rng.Intn(5))
+		}
+		for i := range labels {
+			labels[i] = rng.Intn(cols)
+		}
+		t1, tk := TopK(logits, rows, cols, k, labels)
+		r1, rk := referenceTopK(logits, rows, cols, k, labels)
+		if t1 != r1 || tk != rk {
+			t.Fatalf("trial %d (rows=%d cols=%d k=%d): TopK=(%d,%d), reference=(%d,%d)",
+				trial, rows, cols, k, t1, tk, r1, rk)
+		}
 	}
 }
 

@@ -33,6 +33,20 @@ func (p *Param) Data() *tensor.Tensor { return p.Value.T }
 // Grad returns the parameter's gradient tensor (nil before backward).
 func (p *Param) Grad() *tensor.Tensor { return p.Value.Grad }
 
+// ParamIndex builds a name→parameter map over params, erroring on duplicate
+// names. Checkpoint state is keyed by parameter name, so a duplicate would
+// silently alias two parameters' saved state.
+func ParamIndex(params []*Param) (map[string]*Param, error) {
+	idx := make(map[string]*Param, len(params))
+	for _, p := range params {
+		if _, dup := idx[p.Name]; dup {
+			return nil, fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		idx[p.Name] = p
+	}
+	return idx, nil
+}
+
 // Layer is a differentiable module. Forward threads an execution context
 // carrying train/eval mode and the mixed-precision policy.
 type Layer interface {

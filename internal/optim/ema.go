@@ -1,6 +1,10 @@
 package optim
 
 import (
+	"fmt"
+	"strings"
+
+	"effnetscale/internal/checkpoint"
 	"effnetscale/internal/nn"
 	"effnetscale/internal/tensor"
 )
@@ -53,18 +57,35 @@ func (e *WeightEMA) Steps() int { return e.steps }
 
 // Swap exchanges the live weights with the shadow weights. Call before
 // evaluation and again after, restoring the training weights.
-func (e *WeightEMA) Swap(params []*nn.Param) {
-	for _, p := range params {
-		s, ok := e.shadow[p]
-		if !ok {
-			continue
+//
+// Called before the first Update, Swap seeds every shadow with the current
+// weights (an identity swap, but a consistent one). A partial shadow — some
+// params tracked, others not, as happens when the param set changes between
+// Update and Swap — is an error, detected before any weight is touched:
+// the old behaviour of silently skipping untracked params left the model in
+// a mixed live/shadow state that evaluated garbage.
+func (e *WeightEMA) Swap(params []*nn.Param) error {
+	if len(e.shadow) == 0 {
+		for _, p := range params {
+			e.shadow[p] = p.Data().Clone()
 		}
+	}
+	if len(e.shadow) != len(params) {
+		return fmt.Errorf("optim: EMA tracks %d params, Swap got %d — param set changed since Update", len(e.shadow), len(params))
+	}
+	for _, p := range params {
+		if _, ok := e.shadow[p]; !ok {
+			return fmt.Errorf("optim: EMA has no shadow for %q — param set changed since Update", p.Name)
+		}
+	}
+	for _, p := range params {
 		wd := p.Data().Data()
-		sd := s.Data()
+		sd := e.shadow[p].Data()
 		for i := range wd {
 			wd[i], sd[i] = sd[i], wd[i]
 		}
 	}
+	return nil
 }
 
 // CopyTo writes the shadow weights into dst parameters (same order/shapes as
@@ -75,4 +96,66 @@ func (e *WeightEMA) CopyTo(src, dst []*nn.Param) {
 			dst[i].Data().CopyFrom(s)
 		}
 	}
+}
+
+// CaptureState serializes the shadow weights (keyed by parameter name), the
+// update count driving warmup debiasing, and the decay, for the snapshot
+// subsystem.
+func (e *WeightEMA) CaptureState(params []*nn.Param) (checkpoint.Component, error) {
+	if _, err := nn.ParamIndex(params); err != nil {
+		return nil, err
+	}
+	c := checkpoint.Component{}
+	c.PutF64("decay", e.Decay)
+	c.PutI64("steps", int64(e.steps))
+	for _, p := range params {
+		if s, ok := e.shadow[p]; ok {
+			c.PutF32("shadow/"+p.Name, s.Shape(), s.Data())
+		}
+	}
+	return c, nil
+}
+
+// RestoreState rebuilds the shadow from a captured component, validating the
+// decay, parameter names and shapes; unknown shadow entries are an error.
+func (e *WeightEMA) RestoreState(params []*nn.Param, c checkpoint.Component) error {
+	decay, err := c.F64("decay")
+	if err != nil {
+		return err
+	}
+	if decay != e.Decay {
+		return fmt.Errorf("optim: snapshot EMA decay %g, tracker configured with %g", decay, e.Decay)
+	}
+	steps, err := c.I64("steps")
+	if err != nil {
+		return err
+	}
+	idx, err := nn.ParamIndex(params)
+	if err != nil {
+		return err
+	}
+	shadow := map[*nn.Param]*tensor.Tensor{}
+	for key := range c {
+		if key == "decay" || key == "steps" {
+			continue
+		}
+		name, ok := strings.CutPrefix(key, "shadow/")
+		if !ok {
+			return fmt.Errorf("optim: unknown state %q in EMA snapshot", key)
+		}
+		p, ok := idx[name]
+		if !ok {
+			return fmt.Errorf("optim: EMA snapshot has shadow for unknown parameter %q", name)
+		}
+		data, err := c.F32(key, p.Data().Shape())
+		if err != nil {
+			return err
+		}
+		t := tensor.New(p.Data().Shape()...)
+		copy(t.Data(), data)
+		shadow[p] = t
+	}
+	e.shadow = shadow
+	e.steps = int(steps)
+	return nil
 }

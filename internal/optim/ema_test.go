@@ -60,6 +60,51 @@ func TestWeightEMACopyTo(t *testing.T) {
 	}
 }
 
+func TestWeightEMASwapBeforeUpdateSeedsShadows(t *testing.T) {
+	// Swap before the first Update used to silently skip every param (no
+	// shadow entries); now it seeds the shadows with the live weights, so
+	// the swap is consistent (an identity exchange) and a later Update
+	// continues from the seeded state.
+	p := emaParam(4)
+	e := NewWeightEMA(0.5)
+	if err := e.Swap([]*nn.Param{p}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Data().Data()[0]; got != 4 {
+		t.Fatalf("identity swap changed weight to %v", got)
+	}
+	if err := e.Swap([]*nn.Param{p}); err != nil {
+		t.Fatal(err)
+	}
+	e.Update([]*nn.Param{p})
+	if err := e.Swap([]*nn.Param{p}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Data().Data()[0]; got != 4 {
+		t.Fatalf("shadow after seeded update = %v, want 4", got)
+	}
+}
+
+func TestWeightEMASwapRejectsMismatchedParams(t *testing.T) {
+	a, b := emaParam(1), emaParam(2)
+	e := NewWeightEMA(0.5)
+	e.Update([]*nn.Param{a})
+	// b appeared after Update: a silent partial swap would leave the model
+	// half live, half shadow. It must error without touching any weight.
+	if err := e.Swap([]*nn.Param{a, b}); err == nil {
+		t.Fatal("partial-shadow Swap must error")
+	}
+	if a.Data().Data()[0] != 1 || b.Data().Data()[0] != 2 {
+		t.Fatalf("failed Swap mutated weights: %v %v", a.Data().Data()[0], b.Data().Data()[0])
+	}
+	// Dropping a tracked param is a mismatch too.
+	e2 := NewWeightEMA(0.5)
+	e2.Update([]*nn.Param{a, b})
+	if err := e2.Swap([]*nn.Param{a}); err == nil {
+		t.Fatal("shrunken-param-set Swap must error")
+	}
+}
+
 func TestWeightEMAConvergesToConstant(t *testing.T) {
 	// If weights stop moving, the shadow must converge to them.
 	p := emaParam(3)

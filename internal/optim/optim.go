@@ -11,15 +11,26 @@ package optim
 import (
 	"math"
 
+	"effnetscale/internal/checkpoint"
 	"effnetscale/internal/nn"
 	"effnetscale/internal/tensor"
 )
 
 // Optimizer updates parameters from their accumulated gradients. lr is the
 // global learning rate for this step (produced by a schedule.Schedule).
+//
+// Every optimizer is a snapshot participant: CaptureState serializes its
+// per-parameter slots (momentum buffers, second-moment accumulators) and
+// scalar counters keyed by parameter name, and RestoreState rebuilds them so
+// a resumed run steps bit-for-bit identically to the uninterrupted one.
 type Optimizer interface {
 	Step(params []*nn.Param, lr float64)
 	Name() string
+	// CaptureState serializes the optimizer's slots over params (deep copy).
+	CaptureState(params []*nn.Param) (checkpoint.Component, error)
+	// RestoreState replaces the optimizer's slots from a captured component,
+	// validating optimizer identity, parameter names and shapes.
+	RestoreState(params []*nn.Param, c checkpoint.Component) error
 }
 
 // state holds per-parameter optimizer slots, lazily allocated.

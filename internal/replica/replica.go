@@ -30,6 +30,7 @@ import (
 	"effnetscale/internal/efficientnet"
 	"effnetscale/internal/nn"
 	"effnetscale/internal/optim"
+	"effnetscale/internal/rng"
 	"effnetscale/internal/schedule"
 	"effnetscale/internal/tensor"
 	"effnetscale/internal/topology"
@@ -147,6 +148,10 @@ type Engine struct {
 	// stepsPerEpoch is ceil(train size / global batch).
 	stepsPerEpoch int
 	stepCount     int
+	// pipesUp records that the input pipelines are running. They start
+	// lazily at the first Step so a state restore never pays for batches
+	// prefetched at position (0,0) only to be thrown away.
+	pipesUp bool
 }
 
 // Replica is one data-parallel worker.
@@ -166,6 +171,16 @@ type Replica struct {
 	batch   *tensor.Tensor
 	labels  []int
 	accum   int
+
+	// ctxStream and augStream are the serializable positions of this
+	// replica's dropout/stochastic-depth RNG (ctx.RNG) and synchronous-path
+	// augmentation RNG (augRNG) — the cursors a training snapshot records.
+	ctxStream *rng.Stream
+	augStream *rng.Stream
+	// augDraws is the augmentation-stream position as of the last consumed
+	// micro-batch on the prefetched path (the producer runs ahead, so the
+	// pipeline's own stream is not the consumer's position).
+	augDraws uint64
 
 	// pipe is the training input pipeline (nil when prefetch is off): it
 	// renders and augments micro-batches on a background goroutine so the
@@ -317,8 +332,7 @@ func New(cfg Config) (*Engine, error) {
 			opt:      opt,
 			train:    data.NewShard(cfg.Dataset, 0, r, cfg.World),
 			val:      data.NewShard(cfg.Dataset, 1, r, cfg.World),
-			ctx:      &nn.Ctx{Training: true, Precision: cfg.Precision, RNG: rand.New(rand.NewSource(cfg.Seed*1000 + int64(r)))},
-			augRNG:   rand.New(rand.NewSource(cfg.Seed*2000 + int64(r))),
+			ctx:      &nn.Ctx{Training: true, Precision: cfg.Precision},
 			gradBuf:  make([]float32, e.gradLen),
 			buckets:  e.buckets,
 			batch:    tensor.New(cfg.PerReplicaBatch, 3, modelCfg.Resolution, modelCfg.Resolution),
@@ -327,25 +341,17 @@ func New(cfg Config) (*Engine, error) {
 			prefetch: cfg.PrefetchDepth,
 			res:      modelCfg.Resolution,
 		}
-		if rep.prefetch > 0 {
-			// The pipeline owns the training shard from here on: it renders
-			// micro-batches ahead of the compute loop, with augmentation
-			// drawn from the same per-replica seed the inline path uses, so
-			// both paths produce bit-for-bit identical batch streams.
-			pipe, err := data.NewPipeline(data.PipelineConfig{
-				Shard:         rep.train,
-				BatchSize:     cfg.PerReplicaBatch,
-				StepsPerEpoch: e.stepsPerEpoch * cfg.GradAccumSteps,
-				Depth:         rep.prefetch,
-				Augment:       !cfg.NoAugment,
-				AugmentSeed:   cfg.Seed*2000 + int64(r),
-			})
-			if err != nil {
-				e.Close()
-				return nil, fmt.Errorf("replica: input pipeline: %v", err)
-			}
-			rep.pipe = pipe
-		}
+		// The RNGs draw through counting streams so a snapshot can record —
+		// and a resume can replay — their exact positions. The values are
+		// bit-identical to the plain rand.NewSource construction.
+		rep.installRNGs(ctxSeed(cfg.Seed, r), 0, augSeed(cfg.Seed, r), 0)
+		// With prefetch > 0, the pipeline will own the training shard: it
+		// renders micro-batches ahead of the compute loop, with
+		// augmentation drawn from the same per-replica seed the inline
+		// path uses, so both paths produce bit-for-bit identical batch
+		// streams. Pipelines start lazily at the first Step (see
+		// ensurePipelines), so a RestoreState between New and Step never
+		// renders batches it will discard.
 		if cfg.EMADecay > 0 {
 			rep.ema = optim.NewWeightEMA(cfg.EMADecay)
 		}
@@ -364,6 +370,78 @@ func New(cfg Config) (*Engine, error) {
 		e.replicas = append(e.replicas, rep)
 	}
 	return e, nil
+}
+
+// ctxSeed derives replica rank's dropout/stochastic-depth RNG seed.
+func ctxSeed(seed int64, rank int) int64 { return seed*1000 + int64(rank) }
+
+// augSeed derives replica rank's augmentation RNG seed (shared by the
+// synchronous path and the input pipeline, which consume identical streams).
+func augSeed(seed int64, rank int) int64 { return seed*2000 + int64(rank) }
+
+// installRNGs (re)builds the replica's RNG streams at the given positions:
+// draw 0 for a fresh engine, a snapshot's recorded cursors on restore.
+func (r *Replica) installRNGs(ctxSeed int64, ctxDraws uint64, augSeed int64, augDraws uint64) {
+	r.ctxStream = rng.Restore(ctxSeed, ctxDraws)
+	r.ctx.RNG = r.ctxStream.Rand()
+	r.augStream = rng.Restore(augSeed, augDraws)
+	r.augRNG = r.augStream.Rand()
+	r.augDraws = augDraws
+}
+
+// augPosition is the augmentation-stream cursor as of the batches this
+// replica has actually trained on — what a snapshot records.
+func (r *Replica) augPosition() uint64 {
+	if r.pipe != nil {
+		return r.augDraws
+	}
+	return r.augStream.Draws()
+}
+
+// startPipeline (re)starts rep's training input pipeline at the given micro
+// position, stopping any previous pipeline first.
+func (e *Engine) startPipeline(rep *Replica, startEpoch, startStep int, augDraws uint64) error {
+	if rep.pipe != nil {
+		rep.pipe.Stop()
+		rep.pipe = nil
+	}
+	pipe, err := data.NewPipeline(data.PipelineConfig{
+		Shard:         rep.train,
+		BatchSize:     e.cfg.PerReplicaBatch,
+		StepsPerEpoch: e.stepsPerEpoch * e.cfg.GradAccumSteps,
+		Depth:         rep.prefetch,
+		Augment:       !e.cfg.NoAugment,
+		AugmentSeed:   augSeed(e.cfg.Seed, rep.Rank),
+		StartEpoch:    startEpoch,
+		StartStep:     startStep,
+		AugDraws:      augDraws,
+	})
+	if err != nil {
+		return fmt.Errorf("replica: input pipeline: %v", err)
+	}
+	rep.pipe = pipe
+	return nil
+}
+
+// ensurePipelines starts the input pipelines at the engine's current
+// position (step 0 for a fresh engine, the restored cursor after
+// RestoreState). Called on the loop goroutine at the top of Step.
+func (e *Engine) ensurePipelines() {
+	if e.pipesUp {
+		return
+	}
+	e.pipesUp = true
+	startEpoch := e.stepCount / e.stepsPerEpoch
+	startMicro := (e.stepCount % e.stepsPerEpoch) * e.cfg.GradAccumSteps
+	for _, rep := range e.replicas {
+		if rep.prefetch > 0 && rep.pipe == nil {
+			if err := e.startPipeline(rep, startEpoch, startMicro, rep.augPosition()); err != nil {
+				// Unreachable in practice: New validates every input the
+				// pipeline checks (shard geometry, batch size, position).
+				panic(err.Error())
+			}
+		}
+	}
 }
 
 // Close stops every replica's input pipeline and waits for their producer
@@ -399,6 +477,11 @@ func (r *Replica) Dataset() *data.Dataset { return r.train.D }
 // StepsPerEpoch returns the number of global steps per training epoch.
 func (e *Engine) StepsPerEpoch() int { return e.stepsPerEpoch }
 
+// StepCount returns the number of global steps the engine has executed —
+// after RestoreState, the restored position (the schedule resumes from
+// exactly this step).
+func (e *Engine) StepCount() int { return e.stepCount }
+
 // Replica returns the rank-r worker (rank 0 is the conventional reference).
 func (e *Engine) Replica(r int) *Replica { return e.replicas[r] }
 
@@ -407,6 +490,7 @@ func (e *Engine) Replica(r int) *Replica { return e.replicas[r] }
 // overlapped buckets through the configured collective and averaged, and
 // each replica applies the identical optimizer update.
 func (e *Engine) Step() StepResult {
+	e.ensurePipelines()
 	epochF := float64(e.stepCount) / float64(e.stepsPerEpoch)
 	lr := e.cfg.Schedule.LR(epochF)
 	epoch := e.stepCount / e.stepsPerEpoch
@@ -459,6 +543,8 @@ func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, worl
 				panic(fmt.Sprintf("replica: input pipeline out of lockstep: batch (%d,%d), want (%d,%d)", pb.Epoch, pb.Step, epoch, step*r.accum+k))
 			}
 			imgs, labels = pb.Images, pb.Labels
+			// Advance the consumer-side augmentation cursor (see Batch.AugDraws).
+			r.augDraws = pb.AugDraws
 		} else {
 			r.train.FillBatch(epoch, step*r.accum+k, r.batch, r.labels)
 			if augment {
@@ -586,8 +672,8 @@ func (r *Replica) ValLen() int { return r.val.Len() }
 func (e *Engine) EvaluateSerial(maxSamples int) (float64, int) {
 	r := e.replicas[0]
 	if r.ema != nil && r.ema.Steps() > 0 {
-		r.ema.Swap(r.Model.Params())
-		defer r.ema.Swap(r.Model.Params())
+		mustSwap(r.ema, r.Model.Params())
+		defer mustSwap(r.ema, r.Model.Params())
 	}
 	shard := data.NewShard(r.train.D, 1, 0, 1) // the whole validation split
 	n := shard.Len()
@@ -666,8 +752,8 @@ func (r *Replica) evaluate(maxSamples int) float64 {
 	// Evaluate the EMA ("shadow") weights when enabled, as the reference
 	// EfficientNet setup does; swap back afterwards.
 	if r.ema != nil && r.ema.Steps() > 0 {
-		r.ema.Swap(r.Model.Params())
-		defer r.ema.Swap(r.Model.Params())
+		mustSwap(r.ema, r.Model.Params())
+		defer mustSwap(r.ema, r.Model.Params())
 	}
 	n := r.val.Len()
 	if maxSamples > 0 && maxSamples < n {
@@ -686,6 +772,15 @@ func (r *Replica) evaluate(maxSamples int) float64 {
 		return 0
 	}
 	return sums[0] / sums[1]
+}
+
+// mustSwap exchanges live and EMA shadow weights. The engine's param set
+// never changes after construction, so a Swap mismatch here is a broken
+// invariant, not a recoverable condition.
+func mustSwap(ema *optim.WeightEMA, params []*nn.Param) {
+	if err := ema.Swap(params); err != nil {
+		panic("replica: " + err.Error())
+	}
 }
 
 // WeightsInSync verifies all replicas hold bitwise-identical parameters —

@@ -1,0 +1,215 @@
+package replica
+
+import (
+	"fmt"
+
+	"effnetscale/internal/checkpoint"
+)
+
+// This file composes the full training-state snapshot: the model weights and
+// BN statistics, optimizer slots, EMA shadow, step position, and every
+// replica's private state (BN group statistics diverge across groups; RNG
+// streams diverge per rank). A snapshot captured at a step boundary and
+// restored into an engine built from the same configuration continues the
+// training trajectory bit-for-bit — the correctness contract the resume
+// tests enforce.
+//
+// Synchronous data parallelism keeps weights, optimizer slots and the EMA
+// shadow bitwise identical across replicas (the WeightsInSync invariant), so
+// those are captured once from rank 0 and restored into every rank; only BN
+// running statistics and RNG cursors are captured per replica.
+
+// Snapshot component keys owned by the engine. "model" is owned by the
+// checkpoint.ModelState codec; callers (the train package) may add further
+// components — "engine", "model", "optim", "ema" and "replica/<r>" are
+// reserved.
+const (
+	engineComponent  = "engine"
+	optimComponent   = "optim"
+	emaComponent     = "ema"
+	replicaComponent = "replica/%d"
+)
+
+// StateComponents returns the component keys a snapshot of this engine
+// carries — what RestoreState requires and strict callers check against.
+func (e *Engine) StateComponents() []string {
+	keys := []string{engineComponent, "model", optimComponent}
+	if e.cfg.EMADecay > 0 {
+		keys = append(keys, emaComponent)
+	}
+	for r := range e.replicas {
+		keys = append(keys, fmt.Sprintf(replicaComponent, r))
+	}
+	return keys
+}
+
+// ConfigFingerprint renders every configuration field that shapes the
+// training trajectory bit-for-bit: the data order (seed, dataset, world,
+// batch geometry), the arithmetic (model, optimizer, precision, smoothing,
+// BN setup, regularization), and the reduction order (collective algorithm,
+// gradient bucket size). A snapshot restores only into an engine with an
+// identical fingerprint; trajectory-neutral knobs (prefetch depth, eval
+// strategy and cadence) are deliberately excluded. The LR schedule is a
+// function and cannot be fingerprinted — resuming with a different schedule
+// is the caller's responsibility (the train package rebuilds it from the
+// same options).
+func (e *Engine) ConfigFingerprint() string {
+	c := e.cfg
+	d := c.Dataset.Config()
+	return fmt.Sprintf(
+		"model=%s world=%d batch=%d accum=%d opt=%s wd=%g bngroup=%d slice=%dx%d conv_bf16=%t smooth=%g seed=%d dropout=%g dropconnect=%g augment=%t bnmomentum=%g ema=%g collective=%s bucket=%d data[classes=%d train=%d val=%d res=%d noise=%g seed=%d]",
+		c.Model, c.World, c.PerReplicaBatch, c.GradAccumSteps, c.OptimizerName, c.WeightDecay,
+		c.BNGroupSize, c.Slice.Rows, c.Slice.Cols, c.Precision.ConvBF16, c.LabelSmoothing, c.Seed,
+		c.DropoutOverride, c.DropConnectOverride, !c.NoAugment, c.BNMomentum, c.EMADecay,
+		e.replicas[0].coll.Algorithm(), c.GradBucketBytes,
+		d.NumClasses, d.TrainSize, d.ValSize, d.Resolution, d.NoiseStd, d.Seed,
+	)
+}
+
+// CaptureState snapshots the engine's complete training state. Call it at a
+// step boundary (between Step calls — e.g. from a training-loop hook); the
+// returned snapshot deep-copies everything, so it may be handed to an async
+// writer while training continues.
+func (e *Engine) CaptureState() (*checkpoint.Snapshot, error) {
+	snap := checkpoint.NewSnapshot()
+
+	eng := checkpoint.Component{}
+	eng.PutI64("step", int64(e.stepCount))
+	eng.PutStr("config", e.ConfigFingerprint())
+	if err := snap.Add(engineComponent, eng); err != nil {
+		return nil, err
+	}
+
+	r0 := e.replicas[0]
+	if err := snap.Capture(checkpoint.ModelState(r0.Model)); err != nil {
+		return nil, err
+	}
+	oc, err := r0.opt.CaptureState(r0.Model.Params())
+	if err != nil {
+		return nil, fmt.Errorf("replica: capture optimizer: %w", err)
+	}
+	if err := snap.Add(optimComponent, oc); err != nil {
+		return nil, err
+	}
+	if r0.ema != nil {
+		ec, err := r0.ema.CaptureState(r0.Model.Params())
+		if err != nil {
+			return nil, fmt.Errorf("replica: capture EMA: %w", err)
+		}
+		if err := snap.Add(emaComponent, ec); err != nil {
+			return nil, err
+		}
+	}
+	for r, rep := range e.replicas {
+		rc := checkpoint.Component{}
+		for i, bn := range rep.Model.BatchNorms() {
+			rc.PutF32(fmt.Sprintf("bn/%d/mean", i), bn.RunningMean.Shape(), bn.RunningMean.Data())
+			rc.PutF32(fmt.Sprintf("bn/%d/var", i), bn.RunningVar.Shape(), bn.RunningVar.Data())
+		}
+		rc.PutI64("augdraws", int64(rep.augPosition()))
+		rc.PutI64("ctxdraws", int64(rep.ctxStream.Draws()))
+		if err := snap.Add(fmt.Sprintf(replicaComponent, r), rc); err != nil {
+			return nil, err
+		}
+	}
+	return snap, nil
+}
+
+// RestoreState overwrites the engine's entire training state from a
+// snapshot: weights, BN statistics (per replica), optimizer slots, EMA
+// shadow, RNG stream positions, step count, and the input-pipeline cursors
+// (pipelines are restarted at the restored position). The snapshot must come
+// from an engine with an identical ConfigFingerprint; every component the
+// engine expects must be present and internally valid. On error the engine
+// may be left partially restored — rebuild it rather than training on.
+func (e *Engine) RestoreState(snap *checkpoint.Snapshot) error {
+	eng, err := snap.Component(engineComponent)
+	if err != nil {
+		return err
+	}
+	savedCfg, err := eng.Str("config")
+	if err != nil {
+		return err
+	}
+	if cur := e.ConfigFingerprint(); savedCfg != cur {
+		return fmt.Errorf("replica: snapshot configuration does not match engine:\n  snapshot: %s\n  engine:   %s", savedCfg, cur)
+	}
+	step, err := eng.I64("step")
+	if err != nil {
+		return err
+	}
+	if step < 0 {
+		return fmt.Errorf("replica: snapshot step %d is negative", step)
+	}
+
+	oc, err := snap.Component(optimComponent)
+	if err != nil {
+		return err
+	}
+	var ec checkpoint.Component
+	if e.cfg.EMADecay > 0 {
+		if ec, err = snap.Component(emaComponent); err != nil {
+			return err
+		}
+	} else if _, ok := snap.Components[emaComponent]; ok {
+		// Unreachable while EMA decay is part of the fingerprint, but kept:
+		// restoring EMA state into an engine that never evaluates it would
+		// silently change what "the model" means at eval time.
+		return fmt.Errorf("replica: snapshot has EMA state but the engine runs without EMA")
+	}
+
+	for r, rep := range e.replicas {
+		// Weights, optimizer slots and EMA shadow are replica-identical;
+		// restore the same components into each rank's own storage.
+		if err := snap.Restore(checkpoint.ModelState(rep.Model)); err != nil {
+			return err
+		}
+		if err := rep.opt.RestoreState(rep.Model.Params(), oc); err != nil {
+			return fmt.Errorf("replica: restore optimizer (rank %d): %w", r, err)
+		}
+		if ec != nil {
+			if err := rep.ema.RestoreState(rep.Model.Params(), ec); err != nil {
+				return fmt.Errorf("replica: restore EMA (rank %d): %w", r, err)
+			}
+		}
+
+		rc, err := snap.Component(fmt.Sprintf(replicaComponent, r))
+		if err != nil {
+			return err
+		}
+		for i, bn := range rep.Model.BatchNorms() {
+			mean, err := rc.F32(fmt.Sprintf("bn/%d/mean", i), bn.RunningMean.Shape())
+			if err != nil {
+				return fmt.Errorf("replica: rank %d: %w", r, err)
+			}
+			variance, err := rc.F32(fmt.Sprintf("bn/%d/var", i), bn.RunningVar.Shape())
+			if err != nil {
+				return fmt.Errorf("replica: rank %d: %w", r, err)
+			}
+			copy(bn.RunningMean.Data(), mean)
+			copy(bn.RunningVar.Data(), variance)
+		}
+		augDraws, err := rc.I64("augdraws")
+		if err != nil {
+			return fmt.Errorf("replica: rank %d: %w", r, err)
+		}
+		ctxDraws, err := rc.I64("ctxdraws")
+		if err != nil {
+			return fmt.Errorf("replica: rank %d: %w", r, err)
+		}
+		if augDraws < 0 || ctxDraws < 0 {
+			return fmt.Errorf("replica: rank %d: negative RNG cursor", r)
+		}
+		rep.installRNGs(ctxSeed(e.cfg.Seed, r), uint64(ctxDraws), augSeed(e.cfg.Seed, r), uint64(augDraws))
+		// Any running pipeline holds the pre-restore cursor; stop it and
+		// let the next Step lazily start a fresh one at the restored
+		// micro-batch position (ensurePipelines).
+		if rep.pipe != nil {
+			rep.pipe.Stop()
+			rep.pipe = nil
+		}
+	}
+	e.stepCount = int(step)
+	e.pipesUp = false
+	return nil
+}

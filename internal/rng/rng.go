@@ -1,0 +1,84 @@
+// Package rng provides the deterministic, serializable random streams the
+// fault-tolerant snapshot subsystem depends on. The training stack draws
+// per-replica randomness (data augmentation, dropout, stochastic depth) from
+// math/rand generators; resuming a run bit-for-bit requires capturing exactly
+// where each of those streams stands and rewinding to the same position later.
+//
+// math/rand does not expose its generator state, but every value it hands out
+// is derived from a sequence of source calls (Int63 or Uint64), and the
+// standard additive-lagged-Fibonacci source advances by exactly one state
+// transition per call — Int63 is just Uint64 masked to 63 bits. A Stream
+// wraps the standard source with a transition counter, so a stream's full
+// position is the pair (seed, draws) — two integers that serialize trivially
+// — and restoring is "reseed, then discard draws transitions".
+//
+// Stream implements rand.Source64, so a *rand.Rand built on it produces
+// values bit-identical to rand.New(rand.NewSource(seed)) while every state
+// advance flows through the counter.
+package rng
+
+import "math/rand"
+
+// Stream is a math/rand source whose exact position can be captured as
+// (seed, draws) and replayed with Restore. Not safe for concurrent use —
+// like the *rand.Rand values it feeds, each goroutine owns its own Stream.
+type Stream struct {
+	seed  int64
+	draws uint64
+	src   rand.Source64
+}
+
+// NewStream returns a fresh stream positioned at draw 0 of the given seed.
+func NewStream(seed int64) *Stream {
+	// NewSource's concrete type has implemented Source64 since Go 1.8; the
+	// assertion is load-bearing (Uint64 must be a single state transition).
+	return &Stream{seed: seed, src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Restore returns a stream positioned exactly draws state transitions into
+// the given seed's sequence — the stream a snapshot captured with
+// (Seed(), Draws()). Cost is O(draws): the generator is replayed, not
+// reconstructed, which keeps the on-disk representation two integers.
+func Restore(seed int64, draws uint64) *Stream {
+	s := NewStream(seed)
+	s.Skip(draws)
+	return s
+}
+
+// Int63 implements rand.Source, counting one draw per call.
+func (s *Stream) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64, counting one draw per call (the standard
+// source spends exactly one state transition on either method).
+func (s *Stream) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the position to draw 0 of seed.
+func (s *Stream) Seed(seed int64) {
+	s.seed, s.draws = seed, 0
+	s.src.Seed(seed)
+}
+
+// SeedValue returns the seed this stream was created (or last reseeded) with.
+func (s *Stream) SeedValue() int64 { return s.seed }
+
+// Draws returns the number of state transitions consumed so far — together
+// with SeedValue, the stream's complete serializable position.
+func (s *Stream) Draws() uint64 { return s.draws }
+
+// Skip advances the stream by n draws, discarding the values.
+func (s *Stream) Skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.src.Int63()
+	}
+	s.draws += n
+}
+
+// Rand wraps the stream in a *rand.Rand. All randomness drawn through the
+// returned generator advances (and is counted by) the stream.
+func (s *Stream) Rand() *rand.Rand { return rand.New(s) }

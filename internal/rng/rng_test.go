@@ -1,0 +1,74 @@
+package rng
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStreamMatchesStdlib(t *testing.T) {
+	// A Stream-backed rand.Rand must produce bit-identical values to the
+	// plain stdlib construction — the guarantee that lets replica swap its
+	// RNGs for counting streams without changing any training trajectory.
+	a := NewStream(42).Rand()
+	b := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		switch i % 5 {
+		case 0:
+			if x, y := a.Intn(5), b.Intn(5); x != y {
+				t.Fatalf("draw %d: Intn %d != %d", i, x, y)
+			}
+		case 1:
+			if x, y := a.Float64(), b.Float64(); x != y {
+				t.Fatalf("draw %d: Float64 %v != %v", i, x, y)
+			}
+		case 2:
+			if x, y := a.NormFloat64(), b.NormFloat64(); x != y {
+				t.Fatalf("draw %d: NormFloat64 %v != %v", i, x, y)
+			}
+		case 3:
+			if x, y := a.Uint64(), b.Uint64(); x != y {
+				t.Fatalf("draw %d: Uint64 %v != %v", i, x, y)
+			}
+		case 4:
+			if x, y := a.Int63n(1<<40), b.Int63n(1<<40); x != y {
+				t.Fatalf("draw %d: Int63n %v != %v", i, x, y)
+			}
+		}
+	}
+}
+
+func TestRestoreResumesExactly(t *testing.T) {
+	s := NewStream(7)
+	r := s.Rand()
+	for i := 0; i < 137; i++ {
+		r.Intn(5) // variable draw count per call (rejection sampling)
+		r.NormFloat64()
+	}
+	draws := s.Draws()
+	// Continue the original and a restored copy in lockstep.
+	restored := Restore(7, draws)
+	r2 := restored.Rand()
+	for i := 0; i < 200; i++ {
+		if x, y := r.Intn(1000), r2.Intn(1000); x != y {
+			t.Fatalf("post-restore draw %d: %d != %d", i, x, y)
+		}
+	}
+	if s.Draws() != restored.Draws() {
+		t.Fatalf("draw counters diverged: %d vs %d", s.Draws(), restored.Draws())
+	}
+}
+
+func TestSeedResetsPosition(t *testing.T) {
+	s := NewStream(1)
+	s.Rand().Intn(100)
+	if s.Draws() == 0 {
+		t.Fatal("draws not counted")
+	}
+	s.Seed(9)
+	if s.Draws() != 0 || s.SeedValue() != 9 {
+		t.Fatalf("Seed did not reset position: draws=%d seed=%d", s.Draws(), s.SeedValue())
+	}
+	if got, want := s.Rand().Int63(), rand.New(rand.NewSource(9)).Int63(); got != want {
+		t.Fatalf("reseeded stream diverges: %d != %d", got, want)
+	}
+}

@@ -75,20 +75,41 @@ func Progress(emit func(string)) Callback {
 	}
 }
 
-// BestCheckpoint saves replica 0's model to path (atomic write) after every
-// evaluation that improves on the best accuracy seen so far. Failures are
-// reported through Session.NotifyCheckpoint — they reach
-// Result.CheckpointErrors and every callback's OnCheckpoint — but never
-// abort training.
+// BestCheckpoint saves replica 0's model to path (atomic, fsynced,
+// weights-only) after every evaluation that improves on the best accuracy
+// seen so far. Failures are reported through Session.NotifyCheckpoint —
+// they reach Result.CheckpointErrors and every callback's OnCheckpoint —
+// but never abort training.
 func BestCheckpoint(path string) Callback {
 	best := 0.0
 	return Funcs{
 		Eval: func(s *Session, pt EvalPoint) {
+			if s.restoredBest > best {
+				// A resumed session already saved a checkpoint at the
+				// snapshot's recorded best; a post-resume eval must beat
+				// that, or the resumed run would overwrite best.ckpt with
+				// a worse model the uninterrupted run would have kept.
+				best = s.restoredBest
+			}
 			if pt.Accuracy <= best {
 				return
 			}
 			best = pt.Accuracy
-			s.NotifyCheckpoint(path, checkpoint.SaveFile(path, s.Engine().Replica(0).Model))
+			s.NotifyCheckpoint(path, checkpoint.SaveWeightsFile(path, s.Engine().Replica(0).Model))
+		},
+	}
+}
+
+// StopAfterStep ends the run once the global step counter reaches n — the
+// deterministic "kill at step k" used by resume tests and preemption drills
+// (global numbering, so a resumed run is not re-stopped at a step it already
+// passed).
+func StopAfterStep(n int) Callback {
+	return Funcs{
+		Step: func(s *Session, step int, _ replica.StepResult) {
+			if step >= n {
+				s.Stop()
+			}
 		},
 	}
 }

@@ -77,6 +77,11 @@ type config struct {
 	targetAcc   float64
 	strategy    EvalStrategy
 	callbacks   []Callback
+
+	snapshotDir   string
+	snapshotEvery int
+	keepLast      int
+	resume        string
 }
 
 func defaultConfig() *config {
@@ -485,6 +490,68 @@ func WithBestCheckpoint(path string) Option {
 			return fmt.Errorf("train: checkpoint path must not be empty")
 		}
 		c.callbacks = append(c.callbacks, BestCheckpoint(path))
+		return nil
+	}
+}
+
+// WithSnapshotDir sets the directory periodic training-state snapshots are
+// written to (step-<n>.ckpt files, created on demand). Required alongside
+// WithSnapshotEvery; the same directory is what WithResume typically points
+// back at.
+func WithSnapshotDir(dir string) Option {
+	return func(c *config) error {
+		if dir == "" {
+			return fmt.Errorf("train: snapshot directory must not be empty")
+		}
+		c.snapshotDir = dir
+		return nil
+	}
+}
+
+// WithSnapshotEvery writes a full training-state snapshot (weights, BN
+// statistics, optimizer slots, EMA shadow, schedule position, per-replica
+// RNG and data-pipeline cursors) every n global steps. The capture is a
+// synchronous memory copy at the step boundary; encoding and the atomic
+// fsync+rename write happen on a background writer goroutine, off the
+// training critical path. Failures surface in Result.CheckpointErrors and
+// through OnCheckpoint callbacks, never by aborting training.
+func WithSnapshotEvery(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("train: snapshot cadence %d must be >= 1 step", n)
+		}
+		c.snapshotEvery = n
+		return nil
+	}
+}
+
+// WithKeepLast bounds how many periodic snapshots are retained on disk:
+// after each successful write, older step-<n>.ckpt files beyond the n most
+// recent are deleted (0, the default, keeps all).
+func WithKeepLast(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("train: keep-last %d must be >= 0", n)
+		}
+		c.keepLast = n
+		return nil
+	}
+}
+
+// WithResume restores full training state before the first Run: path names
+// either a snapshot file or a snapshot directory, where the newest readable
+// step-<n>.ckpt wins (falling back past files a crash truncated mid-write).
+// The session must be built from the same configuration as the interrupted
+// run — model, world, batch geometry, optimizer, seed, collective, dataset
+// — which is validated against the snapshot's recorded fingerprint. The
+// resumed run continues the original trajectory bit-for-bit;
+// Result.Resumed reports that it happened.
+func WithResume(path string) Option {
+	return func(c *config) error {
+		if path == "" {
+			return fmt.Errorf("train: resume path must not be empty")
+		}
+		c.resume = path
 		return nil
 	}
 }

@@ -18,12 +18,18 @@ package train
 
 import (
 	"fmt"
+	"os"
 
 	"effnetscale/internal/checkpoint"
 	"effnetscale/internal/replica"
 	"effnetscale/internal/schedule"
 	"effnetscale/internal/trainloop"
 )
+
+// loopComponent is the snapshot component the Session owns on top of the
+// engine's: loop-level progress that is not engine state (best accuracy so
+// far, which seeds the resumed run's peak tracking).
+const loopComponent = "trainloop"
 
 // EvalPoint is one evaluation snapshot (re-exported from the loop engine).
 type EvalPoint = trainloop.EvalPoint
@@ -34,12 +40,15 @@ type Result struct {
 	// ReachedGoal reports that a StopAtAccuracy callback (WithTarget) ended
 	// the run at its target accuracy.
 	ReachedGoal bool
-	// CheckpointsSaved counts successful checkpoint writes.
+	// CheckpointsSaved counts successful checkpoint and snapshot writes.
 	CheckpointsSaved int
-	// CheckpointErrors collects checkpoint-save failures. Saving never
-	// aborts training, but the failures are first-class results — not
-	// whispers through a progress log.
+	// CheckpointErrors collects checkpoint- and snapshot-save failures.
+	// Saving never aborts training, but the failures are first-class
+	// results — not whispers through a progress log.
 	CheckpointErrors []error
+	// Resumed reports that this run continued from a WithResume snapshot
+	// rather than from step 0.
+	Resumed bool
 }
 
 // Session is an assembled training job: a validated configuration, a live
@@ -52,6 +61,22 @@ type Session struct {
 
 	stop bool
 	cur  *Result
+
+	// writer persists periodic snapshots asynchronously (nil without
+	// WithSnapshotEvery).
+	writer *checkpoint.Writer
+	// best is the best evaluation accuracy seen across the session's
+	// lifetime, including the pre-resume history restored from a snapshot.
+	best float64
+	// restoredBest is the best accuracy the resume snapshot recorded —
+	// frozen at restore time so callbacks like BestCheckpoint can seed
+	// their improvement thresholds without racing s.best's live updates.
+	restoredBest float64
+	// resumeStep/resumeFrom record a WithResume restore; resumePending
+	// marks that the next Run should start mid-loop at resumeStep.
+	resumeStep    int
+	resumeFrom    string
+	resumePending bool
 }
 
 // New validates opts eagerly and assembles the engine. All configuration
@@ -76,6 +101,9 @@ func New(opts ...Option) (*Session, error) {
 	}
 	if c.world%bnGroup != 0 {
 		return nil, fmt.Errorf("train: BN group size %d does not divide world %d", bnGroup, c.world)
+	}
+	if c.snapshotEvery > 0 && c.snapshotDir == "" {
+		return nil, fmt.Errorf("train: WithSnapshotEvery needs WithSnapshotDir")
 	}
 	globalBatch := c.world * c.perReplicaBatch * c.gradAccum
 	sched := c.scheduleFn(globalBatch, c.epochs)
@@ -111,17 +139,88 @@ func New(opts ...Option) (*Session, error) {
 	if c.targetAcc > 0 {
 		s.callbacks = append(s.callbacks, StopAtAccuracy(c.targetAcc))
 	}
+	if c.resume != "" {
+		if err := s.restoreFrom(c.resume); err != nil {
+			eng.Close()
+			return nil, err
+		}
+	}
+	if c.snapshotEvery > 0 {
+		w, err := checkpoint.NewWriter(c.snapshotDir, c.keepLast)
+		if err != nil {
+			eng.Close()
+			return nil, fmt.Errorf("train: snapshot writer: %w", err)
+		}
+		s.writer = w
+	}
 	return s, nil
+}
+
+// restoreFrom loads a snapshot (a file, or the newest readable one in a
+// directory) and restores the engine and session progress from it.
+func (s *Session) restoreFrom(path string) error {
+	var (
+		snap *checkpoint.Snapshot
+		src  = path
+		err  error
+	)
+	if info, statErr := os.Stat(path); statErr == nil && info.IsDir() {
+		snap, src, err = checkpoint.ReadLatestSnapshot(path)
+	} else {
+		snap, err = checkpoint.ReadSnapshotFile(path)
+	}
+	if err != nil {
+		return fmt.Errorf("train: resume: %w", err)
+	}
+	// Strict component accounting: everything in the snapshot must be
+	// either engine state or the session's loop component. Anything else
+	// means the snapshot came from a richer setup and dropping it silently
+	// would not be a faithful resume.
+	expected := map[string]bool{loopComponent: true}
+	for _, k := range s.eng.StateComponents() {
+		expected[k] = true
+	}
+	for _, k := range snap.Keys() {
+		if !expected[k] {
+			return fmt.Errorf("train: resume %s: snapshot carries unknown component %q", src, k)
+		}
+	}
+	if err := s.eng.RestoreState(snap); err != nil {
+		return fmt.Errorf("train: resume %s: %w", src, err)
+	}
+	// The loop component is optional (engine-level snapshots lack it); when
+	// present it must be well-formed and agree with this session's length
+	// and schedule.
+	if lc, ok := snap.Components[loopComponent]; ok {
+		if err := s.restoreLoopComponent(lc); err != nil {
+			return fmt.Errorf("train: resume %s: %w", src, err)
+		}
+	}
+	s.resumeStep = s.eng.StepCount()
+	s.resumeFrom = src
+	s.resumePending = true
+	return nil
+}
+
+// ResumedFrom reports the snapshot a WithResume session restored from and
+// the step it restored to (ok=false for fresh sessions).
+func (s *Session) ResumedFrom() (path string, step int, ok bool) {
+	return s.resumeFrom, s.resumeStep, s.resumeFrom != ""
 }
 
 // Engine exposes the underlying replica engine for direct inspection
 // (WeightsInSync, Replica, StepsPerEpoch, ...).
 func (s *Session) Engine() *replica.Engine { return s.eng }
 
-// Close releases the engine's input-pipeline goroutines and buffers. A
-// Session must not Run after Close. Idempotent; a no-op when prefetching is
-// disabled.
-func (s *Session) Close() { s.eng.Close() }
+// Close flushes and stops the async snapshot writer and releases the
+// engine's input-pipeline goroutines and buffers. A Session must not Run
+// after Close. Idempotent.
+func (s *Session) Close() {
+	if s.writer != nil {
+		s.writer.Close()
+	}
+	s.eng.Close()
+}
 
 // GlobalBatch returns the effective global batch size.
 func (s *Session) GlobalBatch() int { return s.eng.GlobalBatch() }
@@ -159,23 +258,120 @@ func (s *Session) NotifyCheckpoint(path string, err error) {
 	}
 }
 
-// LoadCheckpoint restores a saved model into every replica, so training
-// resumes with the replicas bitwise in sync.
+// LoadCheckpoint restores a saved weights-only checkpoint into every
+// replica, so training starts from those weights with the replicas bitwise
+// in sync. It restores weights only — optimizer slots, EMA, RNG streams and
+// the loop position start fresh; use WithResume for bit-for-bit
+// continuation of an interrupted run.
 func (s *Session) LoadCheckpoint(path string) error {
 	for r := 0; r < s.eng.World(); r++ {
-		if err := checkpoint.LoadFile(path, s.eng.Replica(r).Model); err != nil {
+		if err := checkpoint.LoadWeightsFile(path, s.eng.Replica(r).Model); err != nil {
 			return fmt.Errorf("train: load checkpoint: %w", err)
 		}
 	}
 	return nil
 }
 
-// SaveCheckpoint writes replica 0's model to path (atomic write).
+// SaveCheckpoint writes replica 0's model to path in the weights-only
+// serving format (atomic, fsynced write).
 func (s *Session) SaveCheckpoint(path string) error {
-	if err := checkpoint.SaveFile(path, s.eng.Replica(0).Model); err != nil {
+	if err := checkpoint.SaveWeightsFile(path, s.eng.Replica(0).Model); err != nil {
 		return fmt.Errorf("train: save checkpoint: %w", err)
 	}
 	return nil
+}
+
+// Snapshot synchronously captures the full training state — everything a
+// WithResume session needs for a bit-for-bit continuation — and writes it
+// to path atomically. Call it between Runs or from a callback (the engine
+// is quiescent at both points); periodic in-run snapshots are the
+// WithSnapshotEvery option's job.
+func (s *Session) Snapshot(path string) error {
+	snap, err := s.captureSnapshot()
+	if err != nil {
+		return fmt.Errorf("train: snapshot: %w", err)
+	}
+	if err := checkpoint.WriteSnapshotFile(path, snap); err != nil {
+		return fmt.Errorf("train: snapshot: %w", err)
+	}
+	return nil
+}
+
+// scheduleCurve samples the resolved LR schedule across the configured run
+// — the session-level half of the resume fingerprint. The engine validates
+// everything it owns, but the schedule is a function the engine cannot
+// inspect; a dense bit-exact sample of its values catches a resume launched
+// with different -lr-per-256 / warmup / decay / epochs options, any of
+// which would silently fork the trajectory.
+func (s *Session) scheduleCurve() []float64 {
+	const samples = 64
+	curve := make([]float64, samples+1)
+	total := float64(s.cfg.epochs)
+	for i := range curve {
+		curve[i] = s.sched.LR(total * float64(i) / samples)
+	}
+	return curve
+}
+
+// captureSnapshot captures engine state plus the session's loop component.
+func (s *Session) captureSnapshot() (*checkpoint.Snapshot, error) {
+	snap, err := s.eng.CaptureState()
+	if err != nil {
+		return nil, err
+	}
+	lc := checkpoint.Component{}
+	lc.PutF64("best", s.best)
+	lc.PutI64("epochs", int64(s.cfg.epochs))
+	lc.PutF64s("lr-curve", s.scheduleCurve())
+	if err := snap.Add(loopComponent, lc); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// restoreLoopComponent validates the session-level fingerprint and restores
+// loop progress. The component is optional (engine-level snapshots lack it),
+// but when present it must agree with this session's configuration.
+func (s *Session) restoreLoopComponent(lc checkpoint.Component) error {
+	best, err := lc.F64("best")
+	if err != nil {
+		return err
+	}
+	epochs, err := lc.I64("epochs")
+	if err != nil {
+		return err
+	}
+	if int(epochs) != s.cfg.epochs {
+		return fmt.Errorf("snapshot trained toward %d epochs, session configured with %d — a resumed run must keep the original length (it shapes the LR schedule)", epochs, s.cfg.epochs)
+	}
+	curve, err := lc.F64s("lr-curve")
+	if err != nil {
+		return err
+	}
+	cur := s.scheduleCurve()
+	if len(curve) != len(cur) {
+		return fmt.Errorf("snapshot LR curve has %d samples, session's has %d", len(curve), len(cur))
+	}
+	for i := range curve {
+		if curve[i] != cur[i] {
+			return fmt.Errorf("LR schedule differs from the interrupted run's (at %.1f%% of training: snapshot %g, session %g) — resume with the original schedule options", 100*float64(i)/float64(len(curve)-1), curve[i], cur[i])
+		}
+	}
+	s.best = best
+	s.restoredBest = best
+	return nil
+}
+
+// drainWriterEvents surfaces finished async snapshot writes as checkpoint
+// results. Called on the loop goroutine (and after Flush at run end), so
+// callbacks keep their synchronous-dispatch guarantee.
+func (s *Session) drainWriterEvents() {
+	if s.writer == nil {
+		return
+	}
+	for _, ev := range s.writer.Drain() {
+		s.NotifyCheckpoint(ev.Path, ev.Err)
+	}
 }
 
 // Run drives the trainloop engine to completion under the configured
@@ -184,6 +380,14 @@ func (s *Session) SaveCheckpoint(path string) error {
 func (s *Session) Run() (*Result, error) {
 	s.stop = false
 	s.cur = &Result{}
+	startStep := 0
+	if s.resumePending {
+		// Only the first Run after a restore starts mid-loop; later Runs
+		// keep today's "another round of epochs" semantics.
+		startStep = s.resumeStep
+		s.resumePending = false
+		s.cur.Resumed = true
+	}
 	loopRes, err := trainloop.Run(trainloop.Config{
 		Engine:                s.eng,
 		Epochs:                s.cfg.epochs,
@@ -191,6 +395,8 @@ func (s *Session) Run() (*Result, error) {
 		EvalSamplesPerReplica: s.cfg.evalSamples,
 		Evaluator:             s.cfg.strategy,
 		Stop:                  func() bool { return s.stop },
+		StartStep:             startStep,
+		InitialBest:           s.best,
 		Hooks: trainloop.Hooks{
 			OnStep: func(step int, res replica.StepResult) {
 				for _, cb := range s.callbacks {
@@ -198,14 +404,37 @@ func (s *Session) Run() (*Result, error) {
 				}
 			},
 			OnEval: func(pt EvalPoint) {
+				if pt.Accuracy > s.best {
+					s.best = pt.Accuracy
+				}
 				for _, cb := range s.callbacks {
 					cb.OnEval(s, pt)
+				}
+			},
+			OnStepEnd: func(step int) {
+				s.drainWriterEvents()
+				if s.writer != nil && s.cfg.snapshotEvery > 0 && step%s.cfg.snapshotEvery == 0 {
+					// Capture is synchronous (a memory copy of the state);
+					// encoding and the fsynced write happen on the writer
+					// goroutine while training continues.
+					snap, err := s.captureSnapshot()
+					if err != nil {
+						s.NotifyCheckpoint(s.cfg.snapshotDir, err)
+						return
+					}
+					s.writer.Enqueue(int64(step), snap)
 				}
 			},
 		},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("train: %w", err)
+	}
+	if s.writer != nil {
+		// The run's Result owns every snapshot outcome: wait for in-flight
+		// writes and fold their events in before handing the Result out.
+		s.writer.Flush()
+		s.drainWriterEvents()
 	}
 	res := s.cur
 	res.Result = loopRes

@@ -297,7 +297,7 @@ func TestBestCheckpointSaving(t *testing.T) {
 	cfg, _ := efficientnet.ConfigByName("pico", 4)
 	cfg.Resolution = 16
 	fresh := efficientnet.New(rand.New(rand.NewSource(123)), cfg)
-	if err := checkpoint.LoadFile(path, fresh); err != nil {
+	if err := checkpoint.LoadWeightsFile(path, fresh); err != nil {
 		t.Fatalf("best checkpoint unloadable: %v", err)
 	}
 }

@@ -36,10 +36,16 @@ type Evaluator interface {
 // Hooks receive loop events. Nil fields are skipped. Hooks run synchronously
 // on the loop goroutine, so a slow hook slows training.
 type Hooks struct {
-	// OnStep fires after every global training step (1-based index).
+	// OnStep fires after every global training step (1-based index; resumed
+	// runs continue the original numbering from StartStep+1).
 	OnStep func(step int, res replica.StepResult)
 	// OnEval fires after every evaluation, once the point is recorded.
 	OnEval func(pt EvalPoint)
+	// OnStepEnd fires after the step's evaluation (if any) has completed
+	// and been recorded — the step boundary at which the engine state,
+	// including best-accuracy bookkeeping, is complete and quiescent. The
+	// snapshot subsystem captures training state here.
+	OnStepEnd func(step int)
 }
 
 // Config drives Run.
@@ -60,6 +66,18 @@ type Config struct {
 	// the run early (Result.Stopped is set). A final evaluation is NOT
 	// forced — the caller decided it has seen enough.
 	Stop func() bool
+	// StartStep resumes a run mid-way: the loop executes steps
+	// StartStep+1 .. Epochs×StepsPerEpoch, keeping the original step
+	// numbering and evaluation cadence, exactly as if the first StartStep
+	// steps had run in this process. The engine must already hold the
+	// training state of step StartStep (replica.Engine.RestoreState).
+	// StartStep at or past the end runs zero steps and returns cleanly.
+	StartStep int
+	// InitialBest seeds Result.PeakAccuracy for resumed runs, so the peak
+	// reported at the end matches the uninterrupted run even when the peak
+	// predates the resume point. TimeToPeak stays zero unless the resumed
+	// run improves on it (wall-clock is not resumable state).
+	InitialBest float64
 }
 
 // EvalPoint is one evaluation snapshot.
@@ -78,7 +96,9 @@ type Result struct {
 	// first observed — the paper's Figure 1 metric.
 	TimeToPeak time.Duration
 	TotalTime  time.Duration
-	StepsRun   int
+	// StepsRun counts steps executed by this Run call; a resumed run counts
+	// only post-resume steps (EvalPoint.Step carries the global numbering).
+	StepsRun int
 	// EvalSerialSamples counts evaluation samples processed serially by the
 	// busiest worker — the deterministic measure of the §3.3 bottleneck
 	// (the Estimator strategy processes world× more than Distributed).
@@ -100,29 +120,33 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Epochs < 1 {
 		return nil, fmt.Errorf("trainloop: epochs %d must be >= 1", cfg.Epochs)
 	}
+	if cfg.StartStep < 0 {
+		return nil, fmt.Errorf("trainloop: start step %d must be >= 0", cfg.StartStep)
+	}
 	eng := cfg.Engine
 	evalEvery := cfg.EvalEverySteps
 	if evalEvery <= 0 {
 		evalEvery = eng.StepsPerEpoch()
 	}
-	res := &Result{}
+	res := &Result{PeakAccuracy: cfg.InitialBest}
 	start := time.Now()
 
 	totalSteps := cfg.Epochs * eng.StepsPerEpoch()
-	for s := 0; s < totalSteps; s++ {
+	for s := cfg.StartStep; s < totalSteps; s++ {
 		stepRes := eng.Step()
 		res.StepsRun++
+		step := s + 1 // global 1-based step number, resume-stable
 		if cfg.Hooks.OnStep != nil {
-			cfg.Hooks.OnStep(res.StepsRun, stepRes)
+			cfg.Hooks.OnStep(step, stepRes)
 		}
-		if (s+1)%evalEvery == 0 || s+1 == totalSteps {
+		if step%evalEvery == 0 || step == totalSteps {
 			evalStart := time.Now()
 			acc, serial := cfg.Evaluator.Evaluate(eng, cfg.EvalSamplesPerReplica)
 			res.EvalSerialSamples += serial
 			res.EvalWallTime += time.Since(evalStart)
 			pt := EvalPoint{
-				Step:     res.StepsRun,
-				Epoch:    float64(res.StepsRun) / float64(eng.StepsPerEpoch()),
+				Step:     step,
+				Epoch:    float64(step) / float64(eng.StepsPerEpoch()),
 				Accuracy: acc,
 				Elapsed:  time.Since(start),
 			}
@@ -134,6 +158,9 @@ func Run(cfg Config) (*Result, error) {
 			if cfg.Hooks.OnEval != nil {
 				cfg.Hooks.OnEval(pt)
 			}
+		}
+		if cfg.Hooks.OnStepEnd != nil {
+			cfg.Hooks.OnStepEnd(step)
 		}
 		if cfg.Stop != nil && cfg.Stop() {
 			res.Stopped = true

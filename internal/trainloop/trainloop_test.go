@@ -101,6 +101,84 @@ func TestStopEndsRunEarly(t *testing.T) {
 	}
 }
 
+func TestStartStepResumesNumberingAndCadence(t *testing.T) {
+	// A loop resumed at StartStep must keep the original global step
+	// numbers and the original evaluation cadence — the resumed tail's
+	// EvalPoints line up with the uninterrupted run's.
+	e := testEngine(t, 2, 8, 1, "sgd", schedule.Constant(0.05))
+	spe := e.StepsPerEpoch()
+	start := spe/2 + 1 // mid-epoch
+	var steps []int
+	res, err := Run(Config{
+		Engine:                e,
+		Epochs:                2,
+		EvalEverySteps:        3,
+		EvalSamplesPerReplica: 8,
+		Evaluator:             distEval{},
+		StartStep:             start,
+		InitialBest:           0.75,
+		Hooks:                 Hooks{OnStep: func(step int, _ replica.StepResult) { steps = append(steps, step) }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StepsRun != 2*spe-start {
+		t.Fatalf("StepsRun = %d, want %d", res.StepsRun, 2*spe-start)
+	}
+	if steps[0] != start+1 || steps[len(steps)-1] != 2*spe {
+		t.Fatalf("global steps ran %d..%d, want %d..%d", steps[0], steps[len(steps)-1], start+1, 2*spe)
+	}
+	for _, pt := range res.History {
+		if pt.Step%3 != 0 && pt.Step != 2*spe {
+			t.Fatalf("eval at step %d breaks the global cadence", pt.Step)
+		}
+	}
+	if res.PeakAccuracy < 0.75 {
+		t.Fatalf("PeakAccuracy %v lost the seeded initial best", res.PeakAccuracy)
+	}
+	// Starting at or past the end runs nothing, cleanly.
+	res, err = Run(Config{Engine: e, Epochs: 1, Evaluator: distEval{}, StartStep: spe, InitialBest: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StepsRun != 0 || res.PeakAccuracy != 0.5 {
+		t.Fatalf("past-the-end resume ran %d steps (peak %v), want 0 (0.5)", res.StepsRun, res.PeakAccuracy)
+	}
+	if _, err := Run(Config{Engine: e, Epochs: 1, Evaluator: distEval{}, StartStep: -1}); err == nil {
+		t.Fatal("negative StartStep must error")
+	}
+}
+
+func TestOnStepEndFiresAfterEval(t *testing.T) {
+	e := testEngine(t, 1, 8, 1, "sgd", schedule.Constant(0.05))
+	var order []string
+	_, err := Run(Config{
+		Engine:                e,
+		Epochs:                1,
+		EvalEverySteps:        2,
+		EvalSamplesPerReplica: 4,
+		Evaluator:             distEval{},
+		Hooks: Hooks{
+			OnStep:    func(step int, _ replica.StepResult) { order = append(order, "step") },
+			OnEval:    func(EvalPoint) { order = append(order, "eval") },
+			OnStepEnd: func(step int) { order = append(order, "end") },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range order {
+		if ev == "eval" {
+			if i == 0 || order[i-1] != "step" || i+1 >= len(order) || order[i+1] != "end" {
+				t.Fatalf("eval not bracketed by step/end: %v", order)
+			}
+		}
+	}
+	if order[len(order)-1] != "end" {
+		t.Fatalf("loop did not end on OnStepEnd: %v", order)
+	}
+}
+
 func TestEvalEveryStepsCadence(t *testing.T) {
 	e := testEngine(t, 2, 8, 1, "sgd", schedule.Constant(0.05))
 	res, err := Run(Config{
