@@ -19,6 +19,7 @@ package effnetscale
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"testing"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"effnetscale/internal/podsim"
 	"effnetscale/internal/replica"
 	"effnetscale/internal/schedule"
+	"effnetscale/internal/telemetry"
 	"effnetscale/internal/tensor"
 	"effnetscale/internal/topology"
 	"effnetscale/internal/train"
@@ -639,6 +641,57 @@ func BenchmarkOverlapAblation(b *testing.B) {
 			}
 			b.ReportMetric(o.AllReducePct(), "serialized-allreduce-pct")
 			b.ReportMetric(o.SpeedupPct(), "overlap-speedup-pct")
+		})
+	}
+}
+
+// --- Telemetry overhead -----------------------------------------------------------
+
+// BenchmarkStep measures the telemetry subsystem's hot-path cost on a real
+// multi-replica training step:
+//
+//	off        — Config.Telemetry nil: the instrumentation is compiled out
+//	             (no clock reads, no atomics); the baseline.
+//	nosink     — a Recorder with no sinks attached: phase timers run, every
+//	             collective is instrumented, StepDone aggregates the summary,
+//	             but nothing is emitted. The acceptance bar is <1% overhead
+//	             vs off.
+//	jsonl      — a JSONL sink writing to io.Discard: the cost of actually
+//	             emitting per-step records.
+func BenchmarkStep(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		rec  func() *telemetry.Recorder
+	}{
+		{"off", func() *telemetry.Recorder { return nil }},
+		{"nosink", func() *telemetry.Recorder { return telemetry.NewRecorder() }},
+		{"jsonl", func() *telemetry.Recorder { return telemetry.NewRecorder(telemetry.NewJSONL(io.Discard)) }},
+	} {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			ds := data.New(data.MiniConfig(4, 512, 16))
+			eng, err := replica.New(replica.Config{
+				World:           4,
+				PerReplicaBatch: 4,
+				Model:           "pico",
+				Dataset:         ds,
+				OptimizerName:   "sgd",
+				Schedule:        schedule.Constant(0.05),
+				Precision:       bf16.FP32Policy,
+				Seed:            1,
+				NoAugment:       true,
+				Telemetry:       c.rec(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			eng.Step() // warm pipelines and pools off the clock
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step()
+			}
+			b.ReportMetric(float64(eng.GlobalBatch())*float64(b.N)/b.Elapsed().Seconds(), "img/s")
 		})
 	}
 }

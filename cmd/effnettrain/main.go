@@ -14,11 +14,18 @@
 // Note LARS wants nominal LRs two orders of magnitude above SGD's (its
 // layer-wise trust ratios shrink every update); -lr-per-256 40 at global
 // batch 64 is a peak global LR of 10.
+//
+// The -telemetry-* flags attach the step-phase telemetry subsystem:
+// -telemetry-console prints live per-epoch throughput/overlap/ETA lines,
+// -telemetry-jsonl and -telemetry-csv stream per-step records to files, and
+// any of them makes the run print its aggregate summary (phase shares,
+// comm-overlap efficiency, starvation, snapshot latency) at the end.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"effnetscale/internal/bf16"
@@ -26,6 +33,7 @@ import (
 	"effnetscale/internal/data"
 	"effnetscale/internal/replica"
 	"effnetscale/internal/schedule"
+	"effnetscale/internal/telemetry"
 	"effnetscale/internal/topology"
 	"effnetscale/internal/train"
 )
@@ -65,6 +73,9 @@ func main() {
 		keepLast   = flag.Int("keep-last", 3, "retain only the N most recent snapshots (0 = keep all)")
 		resume     = flag.String("resume", "", "resume bit-for-bit from a snapshot file or directory (newest readable snapshot wins)")
 		killAt     = flag.Int("kill-at-step", 0, "crash the process (exit 3) after this global step — preemption drill for the resume path (0 = off)")
+		telJSONL   = flag.String("telemetry-jsonl", "", "stream per-step/epoch/eval telemetry records to this JSONL file")
+		telCSV     = flag.String("telemetry-csv", "", "stream per-step telemetry rows to this CSV file")
+		telConsole = flag.Bool("telemetry-console", false, "print a live per-epoch telemetry summary (img/s, step phases, overlap, ETA)")
 	)
 	flag.Parse()
 
@@ -118,6 +129,35 @@ func main() {
 		train.WithCollective(prov),
 		train.WithCallbacks(train.Progress(func(s string) { fmt.Println(s) })),
 	}
+	// Telemetry: any -telemetry-* flag attaches the recorder; file sinks are
+	// flushed by Session.Close and the files closed on exit.
+	var sinks []telemetry.Sink
+	telemetryOn := *telConsole
+	for _, f := range []struct {
+		path string
+		mk   func(io.Writer) telemetry.Sink
+	}{
+		{*telJSONL, func(w io.Writer) telemetry.Sink { return telemetry.NewJSONL(w) }},
+		{*telCSV, func(w io.Writer) telemetry.Sink { return telemetry.NewCSV(w) }},
+	} {
+		if f.path == "" {
+			continue
+		}
+		file, err := os.Create(f.path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "effnettrain:", err)
+			os.Exit(1)
+		}
+		defer file.Close()
+		sinks = append(sinks, f.mk(file))
+		telemetryOn = true
+	}
+	if *telConsole {
+		sinks = append(sinks, telemetry.NewConsole(func(s string) { fmt.Println(s) }))
+	}
+	if telemetryOn {
+		opts = append(opts, train.WithTelemetry(sinks...))
+	}
 	if *gradBucket != 0 {
 		opts = append(opts, train.WithGradBuckets(*gradBucket))
 	}
@@ -160,11 +200,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "effnettrain:", err)
 		os.Exit(1)
 	}
-	defer sess.Close()
+	defer closeSession(sess)
+	// die flushes the session (telemetry sinks included — os.Exit skips
+	// defers, and the telemetry of a failed run is exactly what explains
+	// it) before exiting non-zero.
+	die := func(args ...any) {
+		fmt.Fprintln(os.Stderr, append([]any{"effnettrain:"}, args...)...)
+		closeSession(sess)
+		os.Exit(1)
+	}
 	if *loadCkpt != "" {
 		if err := sess.LoadCheckpoint(*loadCkpt); err != nil {
-			fmt.Fprintln(os.Stderr, "effnettrain:", err)
-			os.Exit(1)
+			die(err)
 		}
 		fmt.Printf("effnettrain: restored %s into %d replicas\n", *loadCkpt, *replicas)
 	}
@@ -177,24 +224,32 @@ func main() {
 
 	res, err := sess.Run()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "effnettrain:", err)
-		os.Exit(1)
+		die(err)
 	}
 
 	fmt.Printf("\npeak top-1 %.4f at %v (total %v, %d steps, eval wall %v)\n",
 		res.PeakAccuracy, res.TimeToPeak.Round(1e6), res.TotalTime.Round(1e6), res.StepsRun, res.EvalWallTime.Round(1e6))
+	if res.Telemetry != nil {
+		fmt.Println(res.Telemetry)
+	}
 	for _, cerr := range res.CheckpointErrors {
 		fmt.Fprintln(os.Stderr, "effnettrain: checkpoint:", cerr)
 	}
 	if sync := sess.Engine().WeightsInSync(); sync != "" {
-		fmt.Fprintf(os.Stderr, "effnettrain: WARNING replicas out of sync at %s\n", sync)
-		os.Exit(1)
+		die(fmt.Sprintf("WARNING replicas out of sync at %s", sync))
 	}
 	if *saveCkpt != "" {
 		if err := sess.SaveCheckpoint(*saveCkpt); err != nil {
-			fmt.Fprintln(os.Stderr, "effnettrain:", err)
-			os.Exit(1)
+			die(err)
 		}
 		fmt.Println("effnettrain: checkpoint written to", *saveCkpt)
+	}
+}
+
+// closeSession closes sess (idempotent) and surfaces telemetry sink flush
+// failures, which would otherwise vanish with the run's exit status intact.
+func closeSession(sess *train.Session) {
+	if err := sess.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "effnettrain:", err)
 	}
 }

@@ -1,7 +1,10 @@
 // Command minisweep runs mini-scale real-training grids over optimizers,
 // global batch sizes and BN group sizes, emitting a CSV of final train and
-// validation accuracies. It is the tool behind the mini-scale validation
-// tables in EXPERIMENTS.md. Each cell of the grid is one train.Session.
+// validation accuracies plus each cell's telemetry columns (training img/s
+// and comm-overlap efficiency). It is the tool behind the mini-scale
+// validation tables in EXPERIMENTS.md. Each cell of the grid is one
+// train.Session run with telemetry attached; -telemetry-jsonl additionally
+// streams every cell's per-step records, labelled per cell, into one file.
 //
 //	minisweep -optimizers lars,rmsprop -batches 64,256,1024 -epochs 5
 package main
@@ -9,12 +12,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"effnetscale/internal/data"
 	"effnetscale/internal/schedule"
+	"effnetscale/internal/telemetry"
 	"effnetscale/internal/train"
 )
 
@@ -32,8 +37,20 @@ func main() {
 		seed       = flag.Int64("seed", 7, "seed")
 		larsLR     = flag.Float64("lars-lr", 10, "LARS peak global LR (roughly batch-independent, like the paper)")
 		rmsLR      = flag.Float64("rmsprop-lr-per-256", 0.1, "RMSProp LR per 256 samples (linear scaling rule)")
+		telJSONL   = flag.String("telemetry-jsonl", "", "append every cell's per-step telemetry records to this JSONL file (each line carries its cell's run label)")
 	)
 	flag.Parse()
+
+	var telFile io.Writer
+	if *telJSONL != "" {
+		f, err := os.Create(*telJSONL)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "minisweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		telFile = f
+	}
 
 	ds := data.New(data.Config{
 		NumClasses: *classes,
@@ -49,16 +66,17 @@ func main() {
 		groupList = parseInts(*bnGroups)
 	}
 
-	fmt.Println("optimizer,global_batch,bn_group,steps,train_acc,val_acc")
+	fmt.Println("optimizer,global_batch,bn_group,steps,train_acc,val_acc,img_per_s,overlap_eff")
 	for _, opt := range strings.Split(*optimizers, ",") {
 		for _, batch := range parseInts(*batches) {
 			for _, group := range groupList {
-				trainAcc, valAcc, steps, err := runOne(ds, *model, opt, *world, batch, group, *epochs, *seed, *larsLR, *rmsLR)
+				cell, err := runOne(ds, *model, opt, *world, batch, group, *epochs, *seed, *larsLR, *rmsLR, telFile)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "minisweep: %s batch %d: %v\n", opt, batch, err)
 					os.Exit(1)
 				}
-				fmt.Printf("%s,%d,%d,%d,%.4f,%.4f\n", opt, batch, group, steps, trainAcc, valAcc)
+				fmt.Printf("%s,%d,%d,%d,%.4f,%.4f,%.1f,%.4f\n", opt, batch, group,
+					cell.steps, cell.trainAcc, cell.valAcc, cell.imgPerSec, cell.overlap)
 			}
 		}
 	}
@@ -96,12 +114,29 @@ func sweepSchedule(opt string, epochs int, larsLR, rmsLR float64) train.Option {
 	}
 }
 
-func runOne(ds *data.Dataset, model, opt string, world, globalBatch, bnGroup, epochs int, seed int64, larsLR, rmsLR float64) (trainAcc, valAcc float64, steps int, err error) {
+// cellResult carries one sweep cell's accuracy and telemetry columns.
+type cellResult struct {
+	trainAcc, valAcc float64
+	steps            int
+	imgPerSec        float64
+	overlap          float64
+}
+
+func runOne(ds *data.Dataset, model, opt string, world, globalBatch, bnGroup, epochs int, seed int64, larsLR, rmsLR float64, telFile io.Writer) (cell cellResult, retErr error) {
 	perBatch := globalBatch / world
 	if perBatch < 1 {
-		return 0, 0, 0, fmt.Errorf("global batch %d too small for %d replicas", globalBatch, world)
+		return cellResult{}, fmt.Errorf("global batch %d too small for %d replicas", globalBatch, world)
 	}
 	tail := train.NewTrailingAccuracy(4)
+	// Every cell runs with telemetry: the summary supplies the throughput
+	// and overlap columns; the optional JSONL sink streams per-step records
+	// labelled with the cell's coordinates into one shared file.
+	var sinks []telemetry.Sink
+	if telFile != nil {
+		sink := telemetry.NewJSONL(telFile)
+		sink.Label = fmt.Sprintf("%s_b%d_bn%d", opt, globalBatch, bnGroup)
+		sinks = append(sinks, sink)
+	}
 	sess, err := train.New(
 		train.WithModel(model),
 		train.WithWorld(world),
@@ -117,14 +152,31 @@ func runOne(ds *data.Dataset, model, opt string, world, globalBatch, bnGroup, ep
 		train.WithEvalEvery(1<<30), // evaluate once, at the end
 		train.WithEvalSamples(64),
 		train.WithCallbacks(tail),
+		train.WithTelemetry(sinks...),
 	)
 	if err != nil {
-		return 0, 0, 0, err
+		return cellResult{}, err
 	}
-	defer sess.Close() // each sweep point owns world input-pipeline goroutines
+	// Each sweep point owns world input-pipeline goroutines and (optionally)
+	// a labelled JSONL sink into the shared telemetry file; Close releases
+	// the former and flushes the latter, and a flush failure fails the cell.
+	defer func() {
+		if cerr := sess.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
 	res, err := sess.Run()
 	if err != nil {
-		return 0, 0, 0, err
+		return cellResult{}, err
 	}
-	return tail.Mean(), res.PeakAccuracy, res.StepsRun, nil
+	cell = cellResult{
+		trainAcc: tail.Mean(),
+		valAcc:   res.PeakAccuracy,
+		steps:    res.StepsRun,
+	}
+	if res.Telemetry != nil {
+		cell.imgPerSec = res.Telemetry.ImgsPerSec()
+		cell.overlap = res.Telemetry.OverlapEfficiency()
+	}
+	return cell, nil
 }

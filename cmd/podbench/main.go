@@ -8,6 +8,7 @@
 //	podbench -csv                      # machine-readable output
 //	podbench -collective ring          # price Table 1 under a flat ring
 //	podbench -collective auto          # ... or the cost-model auto choice
+//	podbench -validate                 # measured-vs-modeled all-reduce error
 //
 // The -collective flag takes the same provider names the training engine
 // accepts (ring, tree, torus2d, auto), so the algorithm podbench prices and
@@ -29,7 +30,13 @@ func main() {
 	artifact := flag.String("artifact", "all", "which artifact to regenerate: table1, table2, figure1, all")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	collective := flag.String("collective", "torus2d", "collective algorithm for Table 1's all-reduce: ring, tree, torus2d, auto")
+	validate := flag.Bool("validate", false, "measure the executable ring/tree/torus2d all-reduces (world 4/8/16) and report measured-vs-modeled error against the α-β cost model")
 	flag.Parse()
+
+	if *validate {
+		fail(printValidate(*csv))
+		return
+	}
 
 	// Validate the name early with a throwaway slice; per-row providers are
 	// built against each row's actual slice geometry.

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"fmt"
+
+	"effnetscale/internal/metrics"
+	"effnetscale/internal/telemetry"
+)
+
+// printValidate runs the measured-vs-modeled collective validation: the
+// executable ring, tree and torus2d all-reduces are timed at world sizes
+// 4/8/16 over several payloads via the telemetry instrumentation, the α-β
+// cost model's two constants are fitted to the measured ring points, and
+// every cell is then re-priced with Provider.ModelAllReduce under the fitted
+// constants — the per-cell error is how far the model's structure is from
+// the transport the mini-scale training actually runs on.
+func printValidate(csv bool) error {
+	v, err := telemetry.ValidateCommModel(telemetry.ValidationConfig{})
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("Measured vs modeled all-reduce (α-β fit to ring: β %.2f GB/s, α %.2f µs)",
+			v.Fit.BandwidthGBs, v.Fit.LatencyUS),
+		"Provider", "Algorithm", "World", "Payload (KiB)", "Measured (µs)", "Modeled (µs)", "Error %")
+	for _, p := range v.Points {
+		t.AddRow(p.Provider, p.Algorithm, p.World, p.Bytes>>10,
+			round2(p.MeasuredSeconds*1e6), round2(p.ModeledSeconds*1e6), round2(p.ErrorPct))
+	}
+	emit(t, csv)
+	fmt.Println()
+	sum := metrics.NewTable("Mean |error| per provider", "Provider", "Mean |err| %")
+	for _, name := range []string{"ring", "tree", "torus2d"} {
+		if e, ok := v.MeanAbsErrPct[name]; ok {
+			sum.AddRow(name, round2(e))
+		}
+	}
+	emit(sum, csv)
+	return nil
+}

@@ -1,11 +1,3 @@
-// Package autograd implements tape-based reverse-mode automatic
-// differentiation over the tensor engine. A forward pass builds a DAG of
-// Values; Backward on a scalar loss walks the DAG in reverse topological
-// order, accumulating gradients into every Value that requires them.
-//
-// Layers register custom operators via NewOp, which keeps the op set open:
-// batch normalization (with its cross-replica statistics reduction, §3.4 of
-// the paper) lives in package nn but plugs into this tape.
 package autograd
 
 import (

@@ -1,0 +1,17 @@
+// Package autograd implements tape-based reverse-mode automatic
+// differentiation over the tensor engine. A forward pass builds a DAG of
+// Values; Backward on a scalar loss walks the DAG in reverse topological
+// order, accumulating gradients into every Value that requires them.
+//
+// Seams: Value is the differentiable handle every layer produces and
+// consumes; NewOp registers custom operators, which keeps the op set open —
+// batch normalization (with its cross-replica statistics reduction, §3.4 of
+// the paper) lives in package nn but plugs into this tape. Gradients
+// accumulate across tapes, which is what makes gradient accumulation
+// (replica.Config.GradAccumSteps, the paper's path to batch 65536 in §3.1)
+// a pure consumer-side composition.
+//
+// Paper: the backward passes here produce the per-replica gradients whose
+// all-reduce is the subject of the paper's communication analysis (§3.4,
+// Table 1).
+package autograd

@@ -1,9 +1,3 @@
-// Package bf16 implements the bfloat16 floating-point format in software.
-//
-// The paper's §3.5 trains with mixed precision: convolutions run in bfloat16
-// while everything else stays in fp32. TPUs implement bfloat16 natively; here
-// the format is emulated by rounding fp32 values to the nearest bfloat16
-// (8-bit exponent, 7-bit mantissa — the top 16 bits of an IEEE-754 float32).
 package bf16
 
 import (

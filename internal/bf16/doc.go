@@ -1,0 +1,14 @@
+// Package bf16 implements the bfloat16 floating-point format in software.
+//
+// The paper's §3.5 trains with mixed precision: convolutions run in bfloat16
+// while everything else stays in fp32. TPUs implement bfloat16 natively;
+// here the format is emulated by rounding fp32 values to the nearest
+// bfloat16 (8-bit exponent, 7-bit mantissa — the top 16 bits of an IEEE-754
+// float32).
+//
+// Seams: Policy is the mixed-precision knob the layer library consults
+// (DefaultPolicy rounds convolution inputs/weights, FP32Policy disables
+// rounding); Round and RoundSlice are the kernels. The policy flows in via
+// replica.Config.Precision / train.WithPrecision, so §3.5's ablation is a
+// configuration choice.
+package bf16

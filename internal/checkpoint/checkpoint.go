@@ -1,15 +1,3 @@
-// Package checkpoint is the versioned training-state snapshot subsystem: a
-// component-based Snapshot format that captures everything a resumed run
-// needs to continue bit-for-bit (model weights and BN statistics, optimizer
-// slots, EMA shadow weights, loop position, per-replica RNG and data-pipeline
-// cursors), an async Writer that persists snapshots atomically (fsync +
-// rename) off the training critical path, and the legacy weights-only format
-// (SaveWeights/LoadWeights) kept for serving trained models.
-//
-// Stateful subsystems participate through the StateCodec interface; the
-// replica engine composes their components into full snapshots
-// (replica.Engine.CaptureState / RestoreState), and the train package
-// surfaces the end-to-end story (train.WithSnapshotEvery, train.WithResume).
 package checkpoint
 
 import (

@@ -1,0 +1,56 @@
+package checkpoint_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"effnetscale/internal/checkpoint"
+)
+
+// ExampleReadLatestSnapshot resumes "from a directory": periodic snapshot
+// writes leave step-<n>.ckpt files behind, and ReadLatestSnapshot picks the
+// newest one that decodes — falling back past files a crash truncated
+// mid-write, exactly what train.WithResume does with a directory path.
+func ExampleReadLatestSnapshot() {
+	dir, err := os.MkdirTemp("", "snaps")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Two good snapshots, as an interrupted training run leaves behind.
+	for _, step := range []int64{3, 7} {
+		snap := checkpoint.NewSnapshot()
+		c := checkpoint.Component{}
+		c.PutI64("step", step)
+		if err := snap.Add("loop", c); err != nil {
+			log.Fatal(err)
+		}
+		name := fmt.Sprintf("step-%09d.ckpt", step)
+		if err := checkpoint.WriteSnapshotFile(filepath.Join(dir, name), snap); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// A newer snapshot truncated by a crash mid-write: unreadable, skipped.
+	if err := os.WriteFile(filepath.Join(dir, "step-000000009.ckpt"), []byte("torn"), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	snap, path, err := checkpoint.ReadLatestSnapshot(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loop, err := snap.Component("loop")
+	if err != nil {
+		log.Fatal(err)
+	}
+	step, err := loop.I64("step")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resumed from %s at step %d\n", filepath.Base(path), step)
+	// Output:
+	// resumed from step-000000007.ckpt at step 7
+}

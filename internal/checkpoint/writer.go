@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 )
 
 // WriteEvent reports the outcome of one asynchronous snapshot write.
@@ -13,6 +14,9 @@ type WriteEvent struct {
 	Step int64
 	Path string
 	Err  error
+	// Elapsed is the write's own wall-clock latency (encode + fsync +
+	// rename), spent on the writer goroutine off the training critical path.
+	Elapsed time.Duration
 }
 
 // Writer persists snapshots to a directory on a background goroutine, off
@@ -124,9 +128,11 @@ func (w *Writer) run() {
 	defer close(w.done)
 	for job := range w.jobs {
 		path := filepath.Join(w.dir, snapshotName(job.step))
+		start := time.Now()
 		err := WriteSnapshotFile(path, job.snap)
+		elapsed := time.Since(start)
 		w.mu.Lock()
-		w.events = append(w.events, WriteEvent{Step: job.step, Path: path, Err: err})
+		w.events = append(w.events, WriteEvent{Step: job.step, Path: path, Err: err, Elapsed: elapsed})
 		if err == nil {
 			w.history = append(w.history, path)
 			for w.keep > 0 && len(w.history) > w.keep {

@@ -1,19 +1,3 @@
-// Package comm implements the collective-communication layer in two forms:
-//
-//  1. Functional collectives — real ring, tree and hierarchical 2-D torus
-//     algorithms over goroutine "replicas" connected by channels, all behind
-//     the Collective interface (see collective.go). The mini-scale
-//     distributed training runs actually move gradient and batch-norm
-//     statistics through these, so the algorithms are exercised, not just
-//     modelled.
-//
-//  2. An analytic α-β cost model for the same collectives on a TPU-v3
-//     slice's 2-D (torus) interconnect (see cost.go), used by the pod
-//     simulator to produce Table 1's "% of time spent on All-Reduce" column
-//     and by the Auto collective to pick an algorithm per call.
-//
-// The Collective interface and its Provider builders are the public seam;
-// World and Peer are the underlying channel transport.
 package comm
 
 import (

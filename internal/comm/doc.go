@@ -1,0 +1,30 @@
+// Package comm implements the collective-communication layer in two forms:
+//
+//  1. Functional collectives — real ring, tree and hierarchical 2-D torus
+//     algorithms over goroutine "replicas" connected by channels, all behind
+//     the Collective interface (see collective.go). The mini-scale
+//     distributed training runs actually move gradient and batch-norm
+//     statistics through these, so the algorithms are exercised, not just
+//     modelled.
+//
+//  2. An analytic α-β cost model for the same collectives on a TPU-v3
+//     slice's 2-D (torus) interconnect (see cost.go), used by the pod
+//     simulator to produce Table 1's "% of time spent on All-Reduce" column
+//     and by the Auto collective to pick an algorithm per call.
+//
+// Seams: the Collective interface (AllReduce, AllReduceF64, AllGather,
+// ReduceScatter, Broadcast, Barrier, Algorithm) is what every consumer
+// programs against; Provider values (RingProvider, TreeProvider,
+// Torus2DProvider, AutoProvider, ProviderByName) both wire the executable
+// endpoints (Connect) and price the identical algorithm under the cost
+// model (ModelAllReduce), so the algorithm the simulator charges and the
+// algorithm training runs cannot drift apart. Observer + Instrument /
+// InstrumentProvider add per-call accounting (operation, algorithm, payload
+// bytes, rank wall time) without touching the algorithms — the telemetry
+// subsystem's view into every collective, and the capture side of
+// `podbench -validate`'s measured-vs-modeled comparison. World and Peer are
+// the underlying channel transport.
+//
+// Paper: §3.4 (topology-aware all-reduce on the 2-D torus, following Ying
+// et al.) and Table 1's communication-share column.
+package comm

@@ -1,0 +1,46 @@
+package comm_test
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"effnetscale/internal/comm"
+	"effnetscale/internal/topology"
+)
+
+// ExampleProviderByName resolves a collective algorithm by its CLI name,
+// wires an executable 8-rank world from it, runs a lockstep all-reduce, and
+// prices the identical algorithm under the α-β cost model — the two halves
+// of a Provider.
+func ExampleProviderByName() {
+	prov, err := comm.ProviderByName("torus2d", topology.Slice{Rows: 2, Cols: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	colls, err := prov.Connect(8) // one endpoint per rank
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Every rank must enter the collective from its own goroutine — the
+	// lockstep SPMD semantics of TPU collectives.
+	bufs := make([][]float32, len(colls))
+	var wg sync.WaitGroup
+	for r, c := range colls {
+		bufs[r] = []float32{float32(r)}
+		wg.Add(1)
+		go func(c comm.Collective, buf []float32) {
+			defer wg.Done()
+			c.AllReduce(buf)
+		}(c, bufs[r])
+	}
+	wg.Wait()
+
+	_, alg := prov.ModelAllReduce(1<<20, 8, comm.TPUv3Links)
+	fmt.Printf("algorithm %s, sum across ranks %.0f\n", colls[0].Algorithm(), bufs[0][0])
+	fmt.Printf("cost model prices: %s\n", alg)
+	// Output:
+	// algorithm torus2d(2x4), sum across ranks 28
+	// cost model prices: torus2d(2x4)
+}

@@ -1,0 +1,23 @@
+// Package data provides the SynthImageNet dataset: a deterministic,
+// procedurally generated stand-in for ImageNet-1k. The real experiments
+// need 1.28 M labelled images that cannot ship with this repository, so
+// each class is defined by a procedural "prototype" (oriented sinusoidal
+// texture + colored Gaussian blob) and every image is a seeded perturbation
+// of its class prototype. The class structure is genuinely learnable by a
+// convnet, which lets the mini-scale experiments exercise the full training
+// stack, and the dataset is virtualized: images are synthesized on demand,
+// so the canonical 1,281,167-image train split costs no storage.
+//
+// Seams: Dataset renders samples; Shard carves a split across replicas with
+// per-epoch shuffling (disjoint and complete at any world size); Pipeline
+// prefetches rendered, augmented batches on a producer goroutine with
+// buffers recycled through a bounded BufferPool — the host-side input
+// pipeline that keeps accelerator cores fed. Pipelines carry resume cursors
+// (PipelineConfig.StartEpoch/StartStep/AugDraws) so a restored run consumes
+// exactly the batches the interrupted one would have, and a starvation
+// counter (Pipeline.Starved) the telemetry subsystem reads per step.
+//
+// Paper: §3.3 — the input-side responsibilities of the distributed training
+// loop; prefetch depth and starvation are the knob and the symptom of the
+// paper's "keep the accelerators busy" constraint.
+package data

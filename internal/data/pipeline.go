@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"effnetscale/internal/rng"
 	"effnetscale/internal/tensor"
@@ -144,6 +145,12 @@ type Pipeline struct {
 	stop chan struct{}
 	done chan struct{}
 	once sync.Once
+
+	// starved counts Next calls that found the pipeline empty and had to
+	// block — the producer fell behind the consumer. Detected with one
+	// non-blocking receive attempt, so the counter is always on (no clock
+	// reads); the telemetry layer reads per-step deltas when attached.
+	starved atomic.Int64
 }
 
 // NewPipeline validates cfg and starts the producer goroutine.
@@ -242,9 +249,22 @@ func (p *Pipeline) run() {
 // until one is ready. ok is false once the pipeline is exhausted (finite
 // runs) or stopped. The caller must Recycle the batch when done with it.
 func (p *Pipeline) Next() (b *Batch, ok bool) {
+	select {
+	case b, ok = <-p.ch:
+		// Fast path: a batch was already rendered and waiting (a closed
+		// channel is also always ready — exhaustion is not starvation).
+		return b, ok
+	default:
+	}
+	p.starved.Add(1)
 	b, ok = <-p.ch
 	return b, ok
 }
+
+// Starved returns the cumulative count of Next calls that blocked because no
+// batch was ready — the pipeline-starvation counter telemetry reports per
+// step. Safe to call concurrently with Next.
+func (p *Pipeline) Starved() int64 { return p.starved.Load() }
 
 // Recycle hands a delivered batch's buffers back to the pool for reuse.
 // After Recycle the batch contents may be overwritten at any moment.

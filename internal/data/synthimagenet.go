@@ -1,16 +1,3 @@
-// Package data provides the SynthImageNet dataset: a deterministic,
-// procedurally generated stand-in for ImageNet-1k. The real experiments need
-// 1.28 M labelled images that cannot ship with this repository, so each
-// class is defined by a procedural "prototype" (oriented sinusoidal texture
-// + colored Gaussian blob) and every image is a seeded perturbation of its
-// class prototype. The class structure is genuinely learnable by a convnet,
-// which lets the mini-scale experiments exercise the full training stack,
-// and the dataset is virtualized: images are synthesized on demand, so the
-// canonical 1,281,167-image train split costs no storage.
-//
-// The package also provides replica sharding and a prefetching input
-// pipeline, mirroring the input-side responsibilities of the paper's
-// distributed training loop (§3.3).
 package data
 
 import (

@@ -1,9 +1,3 @@
-// Package efficientnet builds the EfficientNet model family (Tan & Le 2019)
-// on top of the nn layer library: MBConv blocks with squeeze-excitation,
-// compound scaling of width/depth/resolution, and the B0–B7 configurations
-// the paper trains (B2 and B5 in its evaluation). Scaled-down variants
-// (Pico/Nano/Micro) make real CPU training feasible for the mini-scale
-// validation experiments.
 package efficientnet
 
 import "math"

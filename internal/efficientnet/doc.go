@@ -1,0 +1,16 @@
+// Package efficientnet builds the EfficientNet model family (Tan & Le 2019)
+// on top of the nn layer library: MBConv blocks with squeeze-excitation,
+// compound scaling of width/depth/resolution, and the B0–B7 configurations
+// the paper trains (B2 and B5 in its evaluation). Scaled-down variants
+// (Pico/Nano/Micro) make real CPU training feasible for the mini-scale
+// validation experiments.
+//
+// Seams: ConfigByName resolves a family name into a Config (the dataset's
+// resolution wins over the family default, so models are
+// resolution-agnostic); Model exposes Params for the optimizers,
+// BatchNorms for distributed-BN wiring, and CopyWeightsFrom for replica
+// initialization. Model state serializes through checkpoint.ModelState.
+//
+// Paper: §2 describes the EfficientNet workload whose scaling limits the
+// paper explores; Table 1/2 train B2 and B5.
+package efficientnet

@@ -1,0 +1,12 @@
+// Package metrics provides accuracy measures, moving averages and the
+// plain-text table renderer used to print the reproduced paper tables in
+// the same shape as the originals.
+//
+// Seams: TopK is the allocation-free top-1/top-k scorer over logit batches
+// (a rank-counting scan with deterministic tie-breaks — see BenchmarkTopK);
+// Table/NewTable render the aligned-text and CSV artifacts podbench and the
+// benchmark harness emit.
+//
+// Paper: the evaluation artifacts — Table 1, Table 2, Figure 1 — are
+// printed through this package.
+package metrics

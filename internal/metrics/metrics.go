@@ -1,6 +1,3 @@
-// Package metrics provides accuracy measures, moving averages and the
-// plain-text table renderer used to print the reproduced paper tables in the
-// same shape as the originals.
 package metrics
 
 import (

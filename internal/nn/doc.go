@@ -1,0 +1,16 @@
+// Package nn provides the neural-network layer library used to build
+// EfficientNets: convolutions, batch normalization with pluggable
+// cross-replica statistics reduction (paper §3.4), squeeze-excitation,
+// dense layers, activations and regularizers, plus a parameter registry
+// consumed by the optimizers.
+//
+// Seams: Param is the registry entry optimizers and checkpoints traverse;
+// Ctx carries per-forward mode (training/eval), the bf16 precision policy
+// and the dropout RNG stream; StatsReducer is the distributed-BN seam — a
+// BatchNorm whose Reducer is set all-reduces its per-channel statistics
+// across its BN group, and CollectiveStats adapts any comm.Collective into
+// that seam.
+//
+// Paper: §3.4 — distributed batch normalization over replica groups, the
+// accuracy-critical ingredient for very large global batches.
+package nn

@@ -1,8 +1,3 @@
-// Package nn provides the neural-network layer library used to build
-// EfficientNets: convolutions, batch normalization with pluggable
-// cross-replica statistics reduction (paper §3.4), squeeze-excitation,
-// dense layers, activations and regularizers, plus a parameter registry
-// consumed by the optimizers.
 package nn
 
 import (

@@ -1,11 +1,3 @@
-// Package optim implements the optimizers the paper trains with: RMSProp
-// (the original EfficientNet optimizer, used for batch ≤ 16384) and LARS
-// (used to reach batch 65536, §3.1), plus SM3 (the paper's future-work
-// optimizer), LAMB, Adam and SGD as baselines.
-//
-// All optimizers mutate nn.Param weights in place given the gradients
-// accumulated by autograd, and are stateful across steps (momentum buffers
-// and second-moment accumulators keyed per parameter).
 package optim
 
 import (

@@ -1,7 +1,3 @@
-// Package parallel provides small, allocation-conscious helpers for
-// data-parallel loops on the host CPU. Every compute kernel in the tensor
-// engine funnels through this package so that parallelism policy (grain
-// size, worker count) lives in one place.
 package parallel
 
 import (

@@ -1,28 +1,10 @@
-// Package replica implements the data-parallel training engine at the heart
-// of the reproduction: N replicas (goroutines standing in for TPU cores)
-// each hold a full copy of the model and a shard of every global batch, run
-// forward/backward locally, all-reduce gradients through a pluggable
-// comm.Collective (ring by default; tree, hierarchical 2-D torus or
-// cost-model-automatic via Config.Collective), and apply identical optimizer
-// updates so the replicas never diverge — the same SPMD structure the
-// paper's TPU training uses.
-//
-// Gradient reduction is bucketed and overlapped: the flattened gradient is
-// cut into fixed-size buckets, and bucket k all-reduces on a background
-// collective stream while bucket k+1 is still being flattened from the
-// autograd tape — communication hides behind the flatten instead of
-// serializing after it (the executable cousin of podsim's overlap model).
-//
-// Distributed batch normalization (§3.4) is wired in by giving every
-// BatchNorm layer a reducer that all-reduces its per-channel statistics
-// across the replica's BN group — through the same Collective interface the
-// gradients use.
 package replica
 
 import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"effnetscale/internal/bf16"
 	"effnetscale/internal/comm"
@@ -32,6 +14,7 @@ import (
 	"effnetscale/internal/optim"
 	"effnetscale/internal/rng"
 	"effnetscale/internal/schedule"
+	"effnetscale/internal/telemetry"
 	"effnetscale/internal/tensor"
 	"effnetscale/internal/topology"
 
@@ -111,6 +94,12 @@ type Config struct {
 	// disables it and renders every batch synchronously on the training
 	// critical path. Both paths produce bit-for-bit identical batches.
 	PrefetchDepth int
+	// Telemetry, when non-nil, receives per-step phase timings (data wait,
+	// forward, backward, gradient-reduce overlap, optimizer apply),
+	// per-collective accounting from instrumented collectives, and pipeline
+	// starvation counts. Nil (the default) compiles the instrumentation out
+	// of the hot path: no clock reads, no atomic traffic, no allocations.
+	Telemetry *telemetry.Recorder
 }
 
 // DefaultPrefetchDepth is the input-pipeline depth when Config leaves
@@ -152,6 +141,9 @@ type Engine struct {
 	// lazily at the first Step so a state restore never pays for batches
 	// prefetched at position (0,0) only to be thrown away.
 	pipesUp bool
+	// samples holds one reusable per-replica phase-timing sample per rank
+	// (nil when telemetry is off, which disables all timing).
+	samples []telemetry.StepSample
 }
 
 // Replica is one data-parallel worker.
@@ -276,8 +268,17 @@ func New(cfg Config) (*Engine, error) {
 	if prov.IsZero() {
 		prov = comm.RingProvider()
 	}
+	if cfg.Telemetry != nil {
+		// Instrumenting the provider covers the gradient world and every BN
+		// group built from it below; the recorder observes each call's
+		// algorithm, payload and rank wall time.
+		prov = comm.InstrumentProvider(prov, cfg.Telemetry)
+	}
 
 	e := &Engine{cfg: cfg}
+	if cfg.Telemetry != nil {
+		e.samples = make([]telemetry.StepSample, cfg.World)
+	}
 
 	// The world-wide collective carries gradients and metrics.
 	colls, err := prov.Connect(cfg.World)
@@ -496,13 +497,24 @@ func (e *Engine) Step() StepResult {
 	epoch := e.stepCount / e.stepsPerEpoch
 	step := e.stepCount % e.stepsPerEpoch
 
+	rec := e.cfg.Telemetry
+	var stepStart time.Time
+	if rec != nil {
+		stepStart = time.Now()
+	}
+
 	results := make([]StepResult, len(e.replicas))
 	var wg sync.WaitGroup
 	for _, rep := range e.replicas {
 		wg.Add(1)
 		go func(rep *Replica) {
 			defer wg.Done()
-			results[rep.Rank] = rep.trainStep(epoch, step, lr, e.cfg.LabelSmoothing, e.cfg.World, !e.cfg.NoAugment)
+			var sample *telemetry.StepSample
+			if rec != nil {
+				sample = &e.samples[rep.Rank]
+				sample.Reset()
+			}
+			results[rep.Rank] = rep.trainStep(epoch, step, lr, e.cfg.LabelSmoothing, e.cfg.World, !e.cfg.NoAugment, sample)
 		}(rep)
 	}
 	wg.Wait()
@@ -513,13 +525,34 @@ func (e *Engine) Step() StepResult {
 	out := results[0]
 	out.LR = lr
 	out.Epoch = epochF
+
+	if rec != nil {
+		phases, starved := telemetry.MergeSamples(e.samples)
+		rec.StepDone(telemetry.StepRecord{
+			Step:        e.stepCount,
+			Epoch:       epochF,
+			Wall:        time.Since(stepStart),
+			Phases:      phases,
+			Loss:        out.Loss,
+			Accuracy:    out.Accuracy,
+			LR:          lr,
+			GlobalBatch: e.GlobalBatch(),
+			Starved:     starved,
+		})
+	}
 	return out
 }
 
-// trainStep is one replica's share of a global step.
-func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, world int, augment bool) StepResult {
+// trainStep is one replica's share of a global step. sample, when non-nil,
+// receives the replica's phase timings (every timing call is nil-safe and
+// free when telemetry is off).
+func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, world int, augment bool, sample *telemetry.StepSample) StepResult {
 	for _, p := range r.Model.Params() {
 		p.Value.ZeroGrad()
+	}
+	var starved0 int64
+	if sample != nil && r.pipe != nil {
+		starved0 = r.pipe.Starved()
 	}
 	// Run GradAccumSteps micro-batches, accumulating gradients locally
 	// before the all-reduce (autograd accumulation across tapes).
@@ -533,6 +566,7 @@ func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, worl
 		// identical either way.
 		imgs, labels := r.batch, r.labels
 		var pb *data.Batch
+		t0 := sample.Now()
 		if r.pipe != nil {
 			var ok bool
 			pb, ok = r.pipe.Next()
@@ -551,10 +585,15 @@ func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, worl
 				data.Augment(r.batch, r.augRNG)
 			}
 		}
+		sample.Add(telemetry.PhaseDataWait, t0)
+		t0 = sample.Now()
 		x := autograd.Constant(imgs)
 		logits := r.Model.Forward(r.ctx, x)
 		loss := autograd.SoftmaxCrossEntropy(logits, labels, smoothing)
+		sample.Add(telemetry.PhaseForward, t0)
+		t0 = sample.Now()
 		loss.Backward()
+		sample.Add(telemetry.PhaseBackward, t0)
 
 		pred := autograd.Argmax(logits.T)
 		for i, l := range labels {
@@ -568,6 +607,9 @@ func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, worl
 			// The tape is done with the pixels; let the producer reuse them.
 			r.pipe.Recycle(pb)
 		}
+	}
+	if sample != nil && r.pipe != nil {
+		sample.AddStarved(r.pipe.Starved() - starved0)
 	}
 
 	// Flatten gradients bucket by bucket, overlapping communication with
@@ -583,7 +625,12 @@ func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, worl
 	go func() {
 		defer close(streamDone)
 		for b := range ready {
+			// PhaseReduce is this stream's collective busy time; the sample's
+			// other phases belong to the loop goroutine, so the two writers
+			// never touch the same phase (see telemetry.StepSample).
+			t0 := sample.Now()
 			r.coll.AllReduce(r.gradBuf[b[0]:b[1]])
+			sample.Add(telemetry.PhaseReduce, t0)
 		}
 	}()
 	off := 0
@@ -612,7 +659,12 @@ func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, worl
 		panic(fmt.Sprintf("replica: flatten covered %d/%d floats, drained %d/%d buckets", off, len(r.gradBuf), next, len(r.buckets)))
 	}
 	close(ready)
+	// The flatten is done; whatever reduction remains is exposed on the
+	// critical path — the tail the overlap could not hide.
+	t0 := sample.Now()
 	<-streamDone
+	sample.Add(telemetry.PhaseReduceTail, t0)
+	t0 = sample.Now()
 	inv := float32(1) / float32(world*r.accum)
 	off = 0
 	for _, p := range r.Model.Params() {
@@ -631,6 +683,7 @@ func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, worl
 	if r.ema != nil {
 		r.ema.Update(r.Model.Params())
 	}
+	sample.Add(telemetry.PhaseOptimizer, t0)
 
 	// Metrics: local sums all-reduced into global means.
 	sums := []float64{lossSum, float64(correct), float64(seen)}

@@ -1,0 +1,23 @@
+// Package rng provides the deterministic, serializable random streams the
+// fault-tolerant snapshot subsystem depends on. The training stack draws
+// per-replica randomness (data augmentation, dropout, stochastic depth)
+// from math/rand generators; resuming a run bit-for-bit requires capturing
+// exactly where each of those streams stands and rewinding to the same
+// position later.
+//
+// math/rand does not expose its generator state, but every value it hands
+// out is derived from a sequence of source calls (Int63 or Uint64), and the
+// standard additive-lagged-Fibonacci source advances by exactly one state
+// transition per call — Int63 is just Uint64 masked to 63 bits. A Stream
+// wraps the standard source with a transition counter, so a stream's full
+// position is the pair (seed, draws) — two integers that serialize
+// trivially — and restoring is "reseed, then discard draws transitions".
+//
+// Seams: Stream implements rand.Source64, so a *rand.Rand built on it
+// produces values bit-identical to rand.New(rand.NewSource(seed)) while
+// every state advance flows through the counter; Restore(seed, draws)
+// rebuilds a stream at a recorded position.
+//
+// Paper: not a paper mechanism per se, but the precondition for validating
+// §3 mechanisms against bit-for-bit resumed trajectories.
+package rng

@@ -1,0 +1,11 @@
+// Package schedule implements the learning-rate schedules from the paper's
+// §3.2: the linear scaling rule (a base LR per 256 samples scaled by the
+// global batch size), linear warmup, and exponential / polynomial / cosine
+// decay — exponential for the RMSProp rows of Table 2, polynomial for the
+// LARS rows.
+//
+// Seams: Schedule maps a fractional epoch to a learning rate — the single
+// interface the replica engine queries each step; Warmup wraps any inner
+// schedule; ScaledLR applies the linear scaling rule. train.WithLinearScaling
+// composes these the way §3.2 prescribes.
+package schedule

@@ -1,7 +1,3 @@
-// Package schedule implements the learning-rate schedules from the paper's
-// §3.2: the linear scaling rule (a base LR per 256 samples scaled by the
-// global batch size), linear warmup, and exponential / polynomial decay —
-// exponential for the RMSProp rows of Table 2, polynomial for the LARS rows.
 package schedule
 
 import "math"

@@ -1,0 +1,332 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Sink consumes telemetry records. The Recorder calls sinks synchronously on
+// the training goroutine, in registration order — a slow sink slows
+// training, so sinks should buffer and defer real I/O cost where they can.
+// SinkFuncs adapts plain functions when only some events matter.
+type Sink interface {
+	// Step receives every training step.
+	Step(StepRecord)
+	// Eval receives every evaluation pass.
+	Eval(EvalRecord)
+	// Epoch receives a summary at every epoch boundary.
+	Epoch(EpochRecord)
+	// Snapshot receives every snapshot-write outcome.
+	Snapshot(SnapshotRecord)
+	// Close flushes buffered output. The sink must not be used after Close.
+	Close() error
+}
+
+// SinkFuncs adapts functions into a Sink; nil fields are skipped.
+type SinkFuncs struct {
+	StepFn     func(StepRecord)
+	EvalFn     func(EvalRecord)
+	EpochFn    func(EpochRecord)
+	SnapshotFn func(SnapshotRecord)
+	CloseFn    func() error
+}
+
+// Step implements Sink.
+func (f SinkFuncs) Step(r StepRecord) {
+	if f.StepFn != nil {
+		f.StepFn(r)
+	}
+}
+
+// Eval implements Sink.
+func (f SinkFuncs) Eval(r EvalRecord) {
+	if f.EvalFn != nil {
+		f.EvalFn(r)
+	}
+}
+
+// Epoch implements Sink.
+func (f SinkFuncs) Epoch(r EpochRecord) {
+	if f.EpochFn != nil {
+		f.EpochFn(r)
+	}
+}
+
+// Snapshot implements Sink.
+func (f SinkFuncs) Snapshot(r SnapshotRecord) {
+	if f.SnapshotFn != nil {
+		f.SnapshotFn(r)
+	}
+}
+
+// Close implements Sink.
+func (f SinkFuncs) Close() error {
+	if f.CloseFn != nil {
+		return f.CloseFn()
+	}
+	return nil
+}
+
+// --- JSONL -------------------------------------------------------------------
+
+// JSONLSink writes one JSON object per event — kind-tagged, machine-mergable
+// — to a buffered writer. The caller owns the underlying writer's lifetime;
+// Close flushes the buffer but does not close files.
+type JSONLSink struct {
+	// Label, when non-empty, is stamped into every line as "run" — how a
+	// sweep distinguishes its cells inside one shared file.
+	Label string
+
+	w *bufio.Writer
+	e *json.Encoder
+}
+
+// NewJSONL builds a JSONL sink over w.
+func NewJSONL(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, e: json.NewEncoder(bw)}
+}
+
+// Each record kind gets its own line struct so every measured value is
+// always present — a genuine 0 (chance-level accuracy on an early step, a
+// step with no starvation) must be distinguishable from "not reported",
+// which omitempty would erase.
+type jsonlStep struct {
+	Kind string `json:"kind"`
+	Run  string `json:"run,omitempty"`
+
+	Step  int     `json:"step"`
+	Epoch float64 `json:"epoch"`
+
+	WallMS   float64     `json:"wall_ms"`
+	Phases   jsonlPhases `json:"phases_ms"`
+	Loss     float64     `json:"loss"`
+	Accuracy float64     `json:"accuracy"`
+	LR       float64     `json:"lr"`
+	ImgsPerS float64     `json:"imgs_per_s"`
+	Overlap  float64     `json:"overlap_eff"`
+	Starved  int64       `json:"starved"`
+
+	CollCount  int64   `json:"coll_count"`
+	CollBytes  int64   `json:"coll_bytes"`
+	CollBusyMS float64 `json:"coll_busy_ms"`
+}
+
+// jsonlPhases is the fixed phase set as a struct, not a map: no per-record
+// allocation, and field order is stable instead of map-key-sorted. The JSON
+// names must stay in lockstep with Phase.String().
+type jsonlPhases struct {
+	DataWait   float64 `json:"data_wait"`
+	Forward    float64 `json:"forward"`
+	Backward   float64 `json:"backward"`
+	Reduce     float64 `json:"reduce"`
+	ReduceTail float64 `json:"reduce_tail"`
+	Optimizer  float64 `json:"optimizer"`
+}
+
+func phasesMS(p [NumPhases]time.Duration) jsonlPhases {
+	return jsonlPhases{
+		DataWait:   ms(p[PhaseDataWait]),
+		Forward:    ms(p[PhaseForward]),
+		Backward:   ms(p[PhaseBackward]),
+		Reduce:     ms(p[PhaseReduce]),
+		ReduceTail: ms(p[PhaseReduceTail]),
+		Optimizer:  ms(p[PhaseOptimizer]),
+	}
+}
+
+type jsonlEval struct {
+	Kind     string  `json:"kind"`
+	Run      string  `json:"run,omitempty"`
+	Step     int     `json:"step"`
+	Epoch    float64 `json:"epoch"`
+	Accuracy float64 `json:"accuracy"`
+	WallMS   float64 `json:"wall_ms"`
+	Serial   int     `json:"serial_samples"`
+}
+
+type jsonlEpoch struct {
+	Kind  string `json:"kind"`
+	Run   string `json:"run,omitempty"`
+	Epoch int    `json:"epoch"`
+	// Steps is the window's step count — deliberately not named "step",
+	// which on every other kind is the global step index.
+	Steps    int     `json:"steps"`
+	WallMS   float64 `json:"wall_ms"`
+	ImgsPerS float64 `json:"imgs_per_s"`
+	AvgLoss  float64 `json:"avg_loss"`
+	Overlap  float64 `json:"overlap_eff"`
+	Done     float64 `json:"done"`
+	ETA      string  `json:"eta,omitempty"`
+}
+
+type jsonlSnapshot struct {
+	Kind   string  `json:"kind"`
+	Run    string  `json:"run,omitempty"`
+	Step   int64   `json:"step"`
+	WallMS float64 `json:"wall_ms"`
+	Path   string  `json:"path"`
+	Err    string  `json:"err,omitempty"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// Step implements Sink.
+func (s *JSONLSink) Step(r StepRecord) {
+	s.e.Encode(jsonlStep{
+		Kind: "step", Run: s.Label,
+		Step: r.Step, Epoch: r.Epoch,
+		WallMS: ms(r.Wall), Phases: phasesMS(r.Phases),
+		Loss: r.Loss, Accuracy: r.Accuracy, LR: r.LR,
+		ImgsPerS: r.ImgsPerSec(), Overlap: r.OverlapEfficiency(), Starved: r.Starved,
+		CollCount: r.Collectives.Count, CollBytes: r.Collectives.Bytes,
+		CollBusyMS: ms(r.Collectives.Busy),
+	})
+}
+
+// Eval implements Sink.
+func (s *JSONLSink) Eval(r EvalRecord) {
+	s.e.Encode(jsonlEval{
+		Kind: "eval", Run: s.Label,
+		Step: r.Step, Epoch: r.Epoch, Accuracy: r.Accuracy,
+		WallMS: ms(r.Wall), Serial: r.SerialSamples,
+	})
+}
+
+// Epoch implements Sink.
+func (s *JSONLSink) Epoch(r EpochRecord) {
+	line := jsonlEpoch{
+		Kind: "epoch", Run: s.Label,
+		Epoch: r.Epoch, Steps: r.Steps,
+		WallMS: ms(r.Wall), ImgsPerS: r.ImgsPerSec, AvgLoss: r.AvgLoss,
+		Overlap: r.OverlapEfficiency, Done: r.Done,
+	}
+	if r.ETA > 0 {
+		line.ETA = r.ETA.Round(time.Second).String()
+	}
+	s.e.Encode(line)
+}
+
+// Snapshot implements Sink.
+func (s *JSONLSink) Snapshot(r SnapshotRecord) {
+	s.e.Encode(jsonlSnapshot{
+		Kind: "snapshot", Run: s.Label,
+		Step: r.Step, WallMS: ms(r.Wall), Path: r.Path, Err: r.Err,
+	})
+}
+
+// Close implements Sink (flushes; the underlying writer stays open).
+func (s *JSONLSink) Close() error { return s.w.Flush() }
+
+// --- CSV ---------------------------------------------------------------------
+
+// CSVSink writes one row per training step (evaluations, epochs and
+// snapshots are not step-shaped and are skipped) — the format spreadsheet
+// analysis of a single run wants.
+type CSVSink struct {
+	w      *bufio.Writer
+	header bool
+}
+
+// NewCSV builds a CSV sink over w; the header row is written with the first
+// record.
+func NewCSV(w io.Writer) *CSVSink {
+	return &CSVSink{w: bufio.NewWriter(w)}
+}
+
+// Step implements Sink.
+func (s *CSVSink) Step(r StepRecord) {
+	if !s.header {
+		s.header = true
+		cols := []string{"step", "epoch", "wall_ms"}
+		for p := Phase(0); p < NumPhases; p++ {
+			cols = append(cols, p.String()+"_ms")
+		}
+		cols = append(cols, "loss", "accuracy", "lr", "imgs_per_s",
+			"overlap_eff", "coll_count", "coll_bytes", "coll_busy_ms", "starved")
+		fmt.Fprintln(s.w, strings.Join(cols, ","))
+	}
+	fmt.Fprintf(s.w, "%d,%.4f,%.3f", r.Step, r.Epoch, ms(r.Wall))
+	for p := Phase(0); p < NumPhases; p++ {
+		fmt.Fprintf(s.w, ",%.3f", ms(r.Phases[p]))
+	}
+	fmt.Fprintf(s.w, ",%.6f,%.4f,%.6g,%.1f,%.4f,%d,%d,%.3f,%d\n",
+		r.Loss, r.Accuracy, r.LR, r.ImgsPerSec(), r.OverlapEfficiency(),
+		r.Collectives.Count, r.Collectives.Bytes, ms(r.Collectives.Busy), r.Starved)
+}
+
+// Eval implements Sink.
+func (s *CSVSink) Eval(EvalRecord) {}
+
+// Epoch implements Sink.
+func (s *CSVSink) Epoch(EpochRecord) {}
+
+// Snapshot implements Sink.
+func (s *CSVSink) Snapshot(SnapshotRecord) {}
+
+// Close implements Sink.
+func (s *CSVSink) Close() error { return s.w.Flush() }
+
+// --- Console -----------------------------------------------------------------
+
+// ConsoleSink emits a one-line human summary per epoch (and per failed
+// snapshot write) through emit — the live training view:
+//
+//	epoch   3  312.4 img/s  step 41.0ms  data 2% fwd 61% bwd 28% opt 3%  overlap 91%  eta 2m10s
+func NewConsole(emit func(string)) Sink {
+	return SinkFuncs{
+		EpochFn: func(r EpochRecord) {
+			stepMS := 0.0
+			if r.Steps > 0 {
+				stepMS = ms(r.Wall) / float64(r.Steps)
+			}
+			pct := func(p Phase) float64 {
+				if r.Wall <= 0 {
+					return 0
+				}
+				return 100 * float64(r.Phases[p]) / float64(r.Wall)
+			}
+			line := fmt.Sprintf("epoch %3d  %.1f img/s  step %.1fms  data %.0f%% fwd %.0f%% bwd %.0f%% opt %.0f%%  overlap %2.0f%%",
+				r.Epoch, r.ImgsPerSec, stepMS,
+				pct(PhaseDataWait), pct(PhaseForward), pct(PhaseBackward), pct(PhaseOptimizer),
+				100*r.OverlapEfficiency)
+			if r.ETA > 0 {
+				line += "  eta " + r.ETA.Round(time.Second).String()
+			}
+			emit(line)
+		},
+		SnapshotFn: func(r SnapshotRecord) {
+			if r.Err != "" {
+				emit("snapshot failed: " + r.Err)
+			}
+		},
+	}
+}
+
+// String renders the summary as the end-of-run report the CLIs print.
+func (s Summary) String() string {
+	if s.Steps == 0 {
+		return "telemetry: no steps recorded"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "telemetry: %d steps in %v (%.1f img/s)\n",
+		s.Steps, s.Wall.Round(time.Millisecond), s.ImgsPerSec())
+	fmt.Fprintf(&b, "  phases:")
+	for p := Phase(0); p < NumPhases; p++ {
+		fmt.Fprintf(&b, " %s %.1f%%", p, s.PhasePct(p))
+	}
+	fmt.Fprintf(&b, "\n  comm: %d collectives, %d bytes, busy %v, overlap efficiency %.1f%%, starved %d\n",
+		s.Collectives.Count, s.Collectives.Bytes,
+		s.Collectives.Busy.Round(time.Millisecond), 100*s.OverlapEfficiency(), s.Starved)
+	fmt.Fprintf(&b, "  eval: %d passes, wall %v, serial samples %d",
+		s.Evals, s.EvalWall.Round(time.Millisecond), s.EvalSerialSamples)
+	if s.Snapshots > 0 {
+		fmt.Fprintf(&b, "\n  snapshots: %d writes, wall %v, %d failed",
+			s.Snapshots, s.SnapshotWall.Round(time.Millisecond), s.SnapshotErrors)
+	}
+	return b.String()
+}

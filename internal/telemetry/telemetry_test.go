@@ -1,0 +1,350 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"effnetscale/internal/comm"
+)
+
+// orderSink records which sink saw which event in which global order.
+type orderSink struct {
+	name string
+	log  *[]string
+}
+
+func (s orderSink) Step(r StepRecord)       { *s.log = append(*s.log, s.name+":step") }
+func (s orderSink) Eval(r EvalRecord)       { *s.log = append(*s.log, s.name+":eval") }
+func (s orderSink) Epoch(r EpochRecord)     { *s.log = append(*s.log, s.name+":epoch") }
+func (s orderSink) Snapshot(SnapshotRecord) { *s.log = append(*s.log, s.name+":snapshot") }
+func (s orderSink) Close() error            { *s.log = append(*s.log, s.name+":close"); return nil }
+
+// TestSinkFanOutOrder verifies every record reaches all sinks in
+// registration order, and that epoch records follow the step that closed the
+// epoch.
+func TestSinkFanOutOrder(t *testing.T) {
+	var log []string
+	rec := NewRecorder(orderSink{"a", &log}, orderSink{"b", &log})
+	rec.BeginRun(RunInfo{StepsPerEpoch: 2, TotalSteps: 4, GlobalBatch: 8})
+
+	rec.StepDone(StepRecord{Step: 1, Wall: time.Millisecond, GlobalBatch: 8})
+	rec.StepDone(StepRecord{Step: 2, Wall: time.Millisecond, GlobalBatch: 8})
+	rec.EvalDone(EvalRecord{Step: 2, Accuracy: 0.5})
+	rec.SnapshotDone(SnapshotRecord{Step: 2})
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []string{
+		"a:step", "b:step", // step 1, no epoch boundary
+		"a:step", "b:step", "a:epoch", "b:epoch", // step 2 closes epoch 1
+		"a:eval", "b:eval",
+		"a:snapshot", "b:snapshot",
+		"a:close", "b:close",
+	}
+	if len(log) != len(want) {
+		t.Fatalf("got %d events %v, want %d", len(log), log, len(want))
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q (full: %v)", i, log[i], want[i], log)
+		}
+	}
+}
+
+// TestNoSinkFastPathAllocs verifies the telemetry-on-but-no-sink hot path —
+// sample timing, collective observation, StepDone aggregation — allocates
+// nothing per step.
+func TestNoSinkFastPathAllocs(t *testing.T) {
+	rec := NewRecorder()
+	rec.BeginRun(RunInfo{StepsPerEpoch: 100, TotalSteps: 1000, GlobalBatch: 64})
+	sample := &StepSample{}
+	step := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		sample.Reset()
+		t0 := sample.Now()
+		sample.Add(PhaseForward, t0)
+		sample.Add(PhaseReduce, t0)
+		sample.AddStarved(1)
+		rec.Collective(comm.Event{Op: comm.OpAllReduce, Bytes: 4096, Elapsed: time.Microsecond})
+		phases, starved := MergeSamples([]StepSample{*sample})
+		step++
+		rec.StepDone(StepRecord{
+			Step: step, Wall: time.Millisecond, Phases: phases,
+			GlobalBatch: 64, Starved: starved,
+		})
+	})
+	if allocs != 0 {
+		t.Fatalf("no-sink fast path allocated %.1f objects/step, want 0", allocs)
+	}
+}
+
+// TestNilSampleIsFree verifies the disabled path: nil samples accept every
+// call, record nothing, and never read the clock.
+func TestNilSampleIsFree(t *testing.T) {
+	var s *StepSample
+	if got := s.Now(); !got.IsZero() {
+		t.Fatalf("nil sample Now() = %v, want zero time (no clock read)", got)
+	}
+	s.Add(PhaseForward, time.Time{})
+	s.AddStarved(3)
+	s.Reset()
+	if d := s.Phase(PhaseForward); d != 0 {
+		t.Fatalf("nil sample Phase = %v, want 0", d)
+	}
+}
+
+// TestOverlapEfficiencyMath checks the overlap arithmetic on synthetic
+// phase records.
+func TestOverlapEfficiencyMath(t *testing.T) {
+	mk := func(busy, tail time.Duration) StepRecord {
+		var r StepRecord
+		r.Phases[PhaseReduce] = busy
+		r.Phases[PhaseReduceTail] = tail
+		return r
+	}
+	cases := []struct {
+		name       string
+		busy, tail time.Duration
+		want       float64
+	}{
+		{"fully_hidden", 10 * time.Millisecond, 0, 1},
+		{"half_hidden", 10 * time.Millisecond, 5 * time.Millisecond, 0.5},
+		{"fully_exposed", 10 * time.Millisecond, 10 * time.Millisecond, 0},
+		{"tail_exceeds_busy_clamps", 10 * time.Millisecond, 12 * time.Millisecond, 0},
+		{"no_reduction_work", 0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := mk(c.busy, c.tail).OverlapEfficiency(); got != c.want {
+			t.Errorf("%s: OverlapEfficiency = %g, want %g", c.name, got, c.want)
+		}
+	}
+}
+
+// TestSummaryAggregation feeds synthetic steps/evals/snapshots and checks
+// the lifetime summary: throughput, phase sums, collective accounting and
+// the run-wide overlap efficiency.
+func TestSummaryAggregation(t *testing.T) {
+	rec := NewRecorder()
+	rec.BeginRun(RunInfo{StepsPerEpoch: 2, TotalSteps: 4, GlobalBatch: 32})
+
+	var r1 StepRecord
+	r1.Step, r1.Wall, r1.GlobalBatch, r1.Loss = 1, 100*time.Millisecond, 32, 2.0
+	r1.Phases[PhaseReduce] = 40 * time.Millisecond
+	r1.Phases[PhaseReduceTail] = 10 * time.Millisecond
+	rec.Collective(comm.Event{Bytes: 1000, Elapsed: 5 * time.Millisecond})
+	rec.Collective(comm.Event{Bytes: 500, Elapsed: 3 * time.Millisecond})
+	rec.StepDone(r1)
+
+	var r2 StepRecord
+	r2.Step, r2.Wall, r2.GlobalBatch, r2.Loss = 2, 100*time.Millisecond, 32, 1.0
+	r2.Phases[PhaseReduce] = 20 * time.Millisecond
+	r2.Phases[PhaseReduceTail] = 20 * time.Millisecond
+	r2.Starved = 3
+	rec.StepDone(r2)
+
+	rec.EvalDone(EvalRecord{Wall: 50 * time.Millisecond, SerialSamples: 64})
+	rec.SnapshotDone(SnapshotRecord{Wall: 7 * time.Millisecond, Err: "disk full"})
+
+	s := rec.Summary()
+	if s.Steps != 2 || s.Images != 64 {
+		t.Fatalf("steps/images = %d/%d, want 2/64", s.Steps, s.Images)
+	}
+	if got, want := s.ImgsPerSec(), 64/0.2; got < want*0.999 || got > want*1.001 {
+		t.Fatalf("ImgsPerSec = %g, want %g", got, want)
+	}
+	// Run-wide overlap: busy 60ms, tail 30ms → 50% hidden.
+	if got := s.OverlapEfficiency(); got != 0.5 {
+		t.Fatalf("OverlapEfficiency = %g, want 0.5", got)
+	}
+	if s.Collectives.Count != 2 || s.Collectives.Bytes != 1500 || s.Collectives.Busy != 8*time.Millisecond {
+		t.Fatalf("collectives = %+v", s.Collectives)
+	}
+	if s.Starved != 3 {
+		t.Fatalf("starved = %d, want 3", s.Starved)
+	}
+	if s.Evals != 1 || s.EvalWall != 50*time.Millisecond || s.EvalSerialSamples != 64 {
+		t.Fatalf("eval summary = %d/%v/%d", s.Evals, s.EvalWall, s.EvalSerialSamples)
+	}
+	if s.Snapshots != 1 || s.SnapshotErrors != 1 {
+		t.Fatalf("snapshot summary = %d written, %d errors", s.Snapshots, s.SnapshotErrors)
+	}
+	// PhaseReduce share of 200ms wall: 60ms = 30%.
+	if got := s.PhasePct(PhaseReduce); got != 30 {
+		t.Fatalf("PhasePct(reduce) = %g, want 30", got)
+	}
+	if !strings.Contains(s.String(), "2 steps") {
+		t.Fatalf("Summary.String() = %q", s.String())
+	}
+}
+
+// TestEpochRecordAndETA checks epoch boundaries, window reset and the ETA
+// extrapolation.
+func TestEpochRecordAndETA(t *testing.T) {
+	var epochs []EpochRecord
+	rec := NewRecorder(SinkFuncs{EpochFn: func(r EpochRecord) { epochs = append(epochs, r) }})
+	rec.BeginRun(RunInfo{StepsPerEpoch: 2, TotalSteps: 6, GlobalBatch: 10})
+
+	for step := 1; step <= 4; step++ {
+		rec.StepDone(StepRecord{Step: step, Wall: 100 * time.Millisecond, GlobalBatch: 10, Loss: float64(step)})
+	}
+	if len(epochs) != 2 {
+		t.Fatalf("got %d epoch records, want 2", len(epochs))
+	}
+	e := epochs[1]
+	if e.Epoch != 2 || e.Steps != 2 {
+		t.Fatalf("epoch record = %+v", e)
+	}
+	// Window: 2 steps × 100ms for 20 images → 100 img/s; loss mean of 3,4.
+	if got := e.ImgsPerSec; got < 99.9 || got > 100.1 {
+		t.Fatalf("epoch ImgsPerSec = %g", got)
+	}
+	if e.AvgLoss != 3.5 {
+		t.Fatalf("epoch AvgLoss = %g, want 3.5", e.AvgLoss)
+	}
+	// 4 of 6 steps done at 100ms/step → 2 steps ≈ 200ms remaining.
+	if e.ETA < 190*time.Millisecond || e.ETA > 210*time.Millisecond {
+		t.Fatalf("ETA = %v, want ≈200ms", e.ETA)
+	}
+	if want := 4.0 / 6.0; e.Done < want-1e-9 || e.Done > want+1e-9 {
+		t.Fatalf("Done = %g, want %g", e.Done, want)
+	}
+}
+
+// TestSummaryDrainsPendingCollectives: events observed after the last
+// StepDone (the final evaluation's reductions) fold into the Summary
+// instead of being lost.
+func TestSummaryDrainsPendingCollectives(t *testing.T) {
+	rec := NewRecorder()
+	rec.BeginRun(RunInfo{GlobalBatch: 8})
+	rec.StepDone(StepRecord{Step: 1, Wall: time.Millisecond, GlobalBatch: 8})
+	rec.Collective(comm.Event{Bytes: 16, Elapsed: time.Microsecond}) // final eval's
+	s := rec.Summary()
+	if s.Collectives.Count != 1 || s.Collectives.Bytes != 16 {
+		t.Fatalf("pending collective lost: %+v", s.Collectives)
+	}
+}
+
+// TestBeginRunResetsSummary: each Run of a multi-Run session reports its own
+// numbers, and stale collective events never leak into the next run's first
+// step.
+func TestBeginRunResetsSummary(t *testing.T) {
+	var steps []StepRecord
+	rec := NewRecorder(SinkFuncs{StepFn: func(r StepRecord) { steps = append(steps, r) }})
+	rec.BeginRun(RunInfo{GlobalBatch: 8})
+	rec.Collective(comm.Event{Bytes: 100, Elapsed: time.Microsecond})
+	rec.StepDone(StepRecord{Step: 1, Wall: time.Millisecond, GlobalBatch: 8})
+	rec.Collective(comm.Event{Bytes: 50, Elapsed: time.Microsecond}) // post-step eval
+	_ = rec.Summary()
+
+	rec.BeginRun(RunInfo{GlobalBatch: 8})
+	rec.Collective(comm.Event{Bytes: 7, Elapsed: time.Microsecond})
+	rec.StepDone(StepRecord{Step: 2, Wall: time.Millisecond, GlobalBatch: 8})
+	s := rec.Summary()
+	if s.Steps != 1 || s.Images != 8 {
+		t.Fatalf("second run summary carries first run's steps: %+v", s)
+	}
+	if s.Collectives.Count != 1 || s.Collectives.Bytes != 7 {
+		t.Fatalf("second run inherited stale collectives: %+v", s.Collectives)
+	}
+	if got := steps[1].Collectives.Bytes; got != 7 {
+		t.Fatalf("second run's first step attributed %d bytes, want 7", got)
+	}
+}
+
+// TestMergeSamples: phases take the max across replicas (critical path),
+// starvation sums.
+func TestMergeSamples(t *testing.T) {
+	var a, b StepSample
+	t0 := time.Now().Add(-10 * time.Millisecond)
+	a.Add(PhaseForward, t0)
+	b.Add(PhaseBackward, t0)
+	a.AddStarved(1)
+	b.AddStarved(2)
+	phases, starved := MergeSamples([]StepSample{a, b})
+	if phases[PhaseForward] < 10*time.Millisecond || phases[PhaseBackward] < 10*time.Millisecond {
+		t.Fatalf("merged phases = %v", phases)
+	}
+	if starved != 3 {
+		t.Fatalf("merged starved = %d, want 3", starved)
+	}
+}
+
+// TestJSONLSink checks line shape, kind tagging and the run label.
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	sink.Label = "cellA"
+	var r StepRecord
+	r.Step, r.Wall, r.GlobalBatch = 1, time.Second, 100
+	r.Phases[PhaseForward] = 600 * time.Millisecond
+	sink.Step(r)
+	sink.Eval(EvalRecord{Step: 1, Accuracy: 0.75, Wall: time.Millisecond})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), buf.String())
+	}
+	var step map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &step); err != nil {
+		t.Fatal(err)
+	}
+	if step["kind"] != "step" || step["run"] != "cellA" {
+		t.Fatalf("step line = %v", step)
+	}
+	if step["imgs_per_s"].(float64) != 100 {
+		t.Fatalf("imgs_per_s = %v", step["imgs_per_s"])
+	}
+	phases := step["phases_ms"].(map[string]any)
+	if phases["forward"].(float64) != 600 {
+		t.Fatalf("forward ms = %v", phases["forward"])
+	}
+	var eval map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &eval); err != nil {
+		t.Fatal(err)
+	}
+	if eval["kind"] != "eval" || eval["accuracy"].(float64) != 0.75 {
+		t.Fatalf("eval line = %v", eval)
+	}
+}
+
+// TestCSVSink checks the header and one row.
+func TestCSVSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewCSV(&buf)
+	var r StepRecord
+	r.Step, r.Epoch, r.Wall, r.GlobalBatch = 3, 1.5, 10*time.Millisecond, 20
+	sink.Step(r)
+	sink.Eval(EvalRecord{}) // not step-shaped: skipped
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want header+row: %q", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "step,epoch,wall_ms,data_wait_ms,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "3,1.5000,10.000") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+// TestPhaseString pins the sink field names.
+func TestPhaseString(t *testing.T) {
+	want := []string{"data_wait", "forward", "backward", "reduce", "reduce_tail", "optimizer"}
+	for p := Phase(0); p < NumPhases; p++ {
+		if p.String() != want[p] {
+			t.Fatalf("Phase(%d) = %q, want %q", p, p.String(), want[p])
+		}
+	}
+	if Phase(99).String() != "unknown" {
+		t.Fatalf("out-of-range phase = %q", Phase(99).String())
+	}
+}

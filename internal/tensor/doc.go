@@ -1,0 +1,13 @@
+// Package tensor implements the dense float32 tensor engine that underpins
+// the whole training stack: shapes, element-wise kernels, a blocked
+// parallel matrix multiply, im2col convolutions (normal and depthwise) with
+// their backward passes, pooling and reductions.
+//
+// Layout is row-major. Convolutional tensors use NCHW (batch, channel,
+// height, width), matching the layout discussion in the paper's §2.
+//
+// Seams: Tensor is the storage type everything above shares; kernels
+// parallelize through package parallel so host-CPU parallelism policy stays
+// in one place. The compute timed by the telemetry subsystem's forward/
+// backward phases is ultimately these kernels.
+package tensor

@@ -1,10 +1,3 @@
-// Package tensor implements the dense float32 tensor engine that underpins
-// the whole training stack: shapes, element-wise kernels, a blocked parallel
-// matrix multiply, im2col convolutions (normal and depthwise) with their
-// backward passes, pooling and reductions.
-//
-// Layout is row-major. Convolutional tensors use NCHW (batch, channel,
-// height, width), matching the layout discussion in the paper's §2.
 package tensor
 
 import (

@@ -1,0 +1,14 @@
+// Package topology models the TPU-v3 pod the paper trains on: chips with
+// two cores each, arranged in a 2-D torus, carved into rectangular slices
+// of 32–2048 cores. It also constructs the batch-normalization replica
+// groups of §3.4, including the two-dimensional tiling used for groups
+// larger than 16.
+//
+// Seams: Slice is the geometry value threaded through the whole stack — BN
+// group tiling (BNGroups, GroupDiameter), the torus collectives
+// (comm.Torus2DProvider), and the pod simulator's per-row slice resolution
+// (SliceForCores).
+//
+// Paper: §2 (the TPU-v3 pod) and §3.4 (2-D BN group tiling, whose smaller
+// group diameters are the point of tiling).
+package topology

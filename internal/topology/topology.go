@@ -1,7 +1,3 @@
-// Package topology models the TPU-v3 pod the paper trains on: chips with two
-// cores each, arranged in a 2-D torus, carved into rectangular slices of
-// 32–2048 cores. It also constructs the batch-normalization replica groups of
-// §3.4, including the two-dimensional tiling used for groups larger than 16.
 package topology
 
 import "fmt"

@@ -1,0 +1,41 @@
+package train_test
+
+import (
+	"fmt"
+	"log"
+
+	"effnetscale/internal/data"
+	"effnetscale/internal/train"
+)
+
+// ExampleNew is the quickstart: assemble a session from the paper's recipe
+// preset, override it down to example scale (options apply in order, so
+// anything a preset chose can be overridden after it), run it, and read the
+// results. This is the README snippet, executed under `go test`.
+func ExampleNew() {
+	sess, err := train.New(
+		train.MiniRecipe(), // the paper's recipe at laptop scale
+		// Overrides shrink the run so this example finishes in seconds;
+		// drop them to train the real quickstart configuration.
+		train.WithWorld(2),
+		train.WithPerReplicaBatch(8),
+		train.WithData(data.MiniConfig(4, 128, 16)),
+		train.WithEpochs(1),
+		train.WithEvalSamples(16),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close() // releases input-pipeline goroutines, flushes sinks
+
+	res, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("global batch %d, %d steps, %s all-reduce, eval strategy %s\n",
+		sess.GlobalBatch(), res.StepsRun, sess.Engine().Algorithm(), sess.Strategy().Name())
+	fmt.Printf("evaluations recorded: %d\n", len(res.History))
+	// Output:
+	// global batch 16, 8 steps, ring all-reduce, eval strategy distributed
+	// evaluations recorded: 1
+}

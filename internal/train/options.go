@@ -8,6 +8,7 @@ import (
 	"effnetscale/internal/data"
 	"effnetscale/internal/replica"
 	"effnetscale/internal/schedule"
+	"effnetscale/internal/telemetry"
 	"effnetscale/internal/topology"
 )
 
@@ -82,6 +83,9 @@ type config struct {
 	snapshotEvery int
 	keepLast      int
 	resume        string
+
+	telemetryOn    bool
+	telemetrySinks []telemetry.Sink
 }
 
 func defaultConfig() *config {
@@ -534,6 +538,33 @@ func WithKeepLast(n int) Option {
 			return fmt.Errorf("train: keep-last %d must be >= 0", n)
 		}
 		c.keepLast = n
+		return nil
+	}
+}
+
+// WithTelemetry turns on the step-phase telemetry subsystem and fans its
+// records out to the given sinks (telemetry.NewJSONL, telemetry.NewCSV,
+// telemetry.NewConsole, or your own) in registration order. The engine then
+// times every step's phases (data wait, forward, backward, the
+// gradient-reduce overlap window and its exposed tail, optimizer apply),
+// instruments every collective call (algorithm, payload bytes, rank wall
+// time), counts input-pipeline starvation, and aggregates evaluation and
+// snapshot-write latencies — surfaced per step/epoch through the sinks and
+// as the run-wide Result.Telemetry summary.
+//
+// Zero sinks is valid and cheap: the recorder only aggregates the summary,
+// allocating nothing per step. Without this option telemetry is compiled
+// out of the hot path entirely (no clock reads). Session.Close flushes the
+// sinks.
+func WithTelemetry(sinks ...telemetry.Sink) Option {
+	return func(c *config) error {
+		for _, s := range sinks {
+			if s == nil {
+				return fmt.Errorf("train: telemetry sink must not be nil")
+			}
+		}
+		c.telemetryOn = true
+		c.telemetrySinks = append(c.telemetrySinks, sinks...)
 		return nil
 	}
 }

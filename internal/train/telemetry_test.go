@@ -1,0 +1,106 @@
+package train
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"effnetscale/internal/data"
+	"effnetscale/internal/schedule"
+	"effnetscale/internal/telemetry"
+)
+
+func telemetryOpts(extra ...Option) []Option {
+	opts := []Option{
+		WithModel("pico"),
+		WithWorld(2),
+		WithPerReplicaBatch(4),
+		WithData(data.MiniConfig(4, 64, 16)),
+		WithOptimizer("sgd", 0),
+		WithSchedule(schedule.Constant(0.05)),
+		WithSeed(3),
+		WithEpochs(1),
+		WithEvalSamples(8),
+	}
+	return append(opts, extra...)
+}
+
+// TestSessionTelemetry runs a session WithTelemetry end to end: sinks see
+// per-step and eval records, Result.Telemetry carries the aggregate, and the
+// snapshot writer's latencies flow through.
+func TestSessionTelemetry(t *testing.T) {
+	var buf bytes.Buffer
+	var stepCount, evalCount int
+	sink := telemetry.SinkFuncs{
+		StepFn: func(telemetry.StepRecord) { stepCount++ },
+		EvalFn: func(telemetry.EvalRecord) { evalCount++ },
+	}
+	sess, err := New(telemetryOpts(
+		WithTelemetry(sink, telemetry.NewJSONL(&buf)),
+		WithSnapshotDir(t.TempDir()),
+		WithSnapshotEvery(2),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry == nil {
+		t.Fatal("Result.Telemetry nil on a WithTelemetry session")
+	}
+	if res.Telemetry.Steps != res.StepsRun {
+		t.Fatalf("summary steps %d != StepsRun %d", res.Telemetry.Steps, res.StepsRun)
+	}
+	if stepCount != res.StepsRun {
+		t.Fatalf("sink saw %d steps, want %d", stepCount, res.StepsRun)
+	}
+	if evalCount != len(res.History) {
+		t.Fatalf("sink saw %d evals, want %d", evalCount, len(res.History))
+	}
+	if res.Telemetry.Evals != len(res.History) || res.Telemetry.EvalWall <= 0 {
+		t.Fatalf("eval summary = %d passes, wall %v", res.Telemetry.Evals, res.Telemetry.EvalWall)
+	}
+	if res.Telemetry.EvalSerialSamples != res.EvalSerialSamples {
+		t.Fatalf("summary serial samples %d != result %d", res.Telemetry.EvalSerialSamples, res.EvalSerialSamples)
+	}
+	if res.Telemetry.Snapshots == 0 || res.Telemetry.SnapshotWall <= 0 {
+		t.Fatalf("snapshot summary = %d writes, wall %v", res.Telemetry.Snapshots, res.Telemetry.SnapshotWall)
+	}
+	if res.Telemetry.SnapshotErrors != 0 {
+		t.Fatalf("snapshot errors = %d", res.Telemetry.SnapshotErrors)
+	}
+	sess.Close() // flush the JSONL sink (idempotent with the defer)
+	if !strings.Contains(buf.String(), `"kind":"step"`) || !strings.Contains(buf.String(), `"kind":"snapshot"`) {
+		t.Fatalf("JSONL output missing records: %q", buf.String())
+	}
+}
+
+// TestSessionWithoutTelemetry pins the default: no recorder, no summary.
+func TestSessionWithoutTelemetry(t *testing.T) {
+	sess, err := New(telemetryOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.Telemetry() != nil {
+		t.Fatal("session without WithTelemetry has a recorder")
+	}
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry != nil {
+		t.Fatal("Result.Telemetry non-nil without WithTelemetry")
+	}
+}
+
+// TestWithTelemetryNilSink rejects nil sinks eagerly.
+func TestWithTelemetryNilSink(t *testing.T) {
+	_, err := New(telemetryOpts(WithTelemetry(nil))...)
+	if err == nil || !strings.Contains(err.Error(), "sink") {
+		t.Fatalf("err = %v, want nil-sink rejection", err)
+	}
+}

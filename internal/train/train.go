@@ -1,19 +1,3 @@
-// Package train is the one way to assemble and run a training job: a
-// composable public API over the replica engine and the trainloop step
-// engine. A Session is built from functional options (validated eagerly, no
-// panics), observed through Callback hooks, and evaluated through a
-// pluggable EvalStrategy — the composition of mechanisms behind the paper's
-// headline result (LARS, linear LR scaling + warmup, distributed batch norm,
-// bf16, and the distributed train+eval loop of §3.3) becomes one-option-away
-// instead of one-copied-main-away:
-//
-//	sess, err := train.New(
-//	    train.MiniRecipe(),                 // the paper recipe at laptop scale
-//	    train.WithEpochs(3),                // override anything after a preset
-//	    train.WithCallbacks(train.Progress(func(s string) { fmt.Println(s) })),
-//	)
-//	if err != nil { ... }
-//	res, err := sess.Run()
 package train
 
 import (
@@ -23,6 +7,7 @@ import (
 	"effnetscale/internal/checkpoint"
 	"effnetscale/internal/replica"
 	"effnetscale/internal/schedule"
+	"effnetscale/internal/telemetry"
 	"effnetscale/internal/trainloop"
 )
 
@@ -49,6 +34,9 @@ type Result struct {
 	// Resumed reports that this run continued from a WithResume snapshot
 	// rather than from step 0.
 	Resumed bool
+	// Telemetry is the run's aggregated step-phase/throughput/overlap
+	// summary — nil unless the session was built WithTelemetry.
+	Telemetry *telemetry.Summary
 }
 
 // Session is an assembled training job: a validated configuration, a live
@@ -65,6 +53,8 @@ type Session struct {
 	// writer persists periodic snapshots asynchronously (nil without
 	// WithSnapshotEvery).
 	writer *checkpoint.Writer
+	// rec aggregates step-phase telemetry (nil without WithTelemetry).
+	rec *telemetry.Recorder
 	// best is the best evaluation accuracy seen across the session's
 	// lifetime, including the pre-resume history restored from a snapshot.
 	best float64
@@ -108,6 +98,11 @@ func New(opts ...Option) (*Session, error) {
 	globalBatch := c.world * c.perReplicaBatch * c.gradAccum
 	sched := c.scheduleFn(globalBatch, c.epochs)
 
+	var rec *telemetry.Recorder
+	if c.telemetryOn {
+		rec = telemetry.NewRecorder(c.telemetrySinks...)
+	}
+
 	eng, err := replica.New(replica.Config{
 		World:               c.world,
 		PerReplicaBatch:     c.perReplicaBatch,
@@ -130,12 +125,13 @@ func New(opts ...Option) (*Session, error) {
 		Collective:          c.collective,
 		GradBucketBytes:     c.gradBuckets,
 		PrefetchDepth:       c.prefetch,
+		Telemetry:           rec,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("train: %w", err)
 	}
 
-	s := &Session{cfg: c, eng: eng, sched: sched, callbacks: c.callbacks}
+	s := &Session{cfg: c, eng: eng, sched: sched, callbacks: c.callbacks, rec: rec}
 	if c.targetAcc > 0 {
 		s.callbacks = append(s.callbacks, StopAtAccuracy(c.targetAcc))
 	}
@@ -212,15 +208,28 @@ func (s *Session) ResumedFrom() (path string, step int, ok bool) {
 // (WeightsInSync, Replica, StepsPerEpoch, ...).
 func (s *Session) Engine() *replica.Engine { return s.eng }
 
-// Close flushes and stops the async snapshot writer and releases the
-// engine's input-pipeline goroutines and buffers. A Session must not Run
-// after Close. Idempotent.
-func (s *Session) Close() {
+// Close flushes and stops the async snapshot writer, flushes the telemetry
+// sinks, and releases the engine's input-pipeline goroutines and buffers.
+// The returned error is a telemetry sink flush failure (a full disk under a
+// JSONL sink, say) — snapshot-write failures surfaced during the run via
+// Result.CheckpointErrors. A Session must not Run after Close. Idempotent.
+func (s *Session) Close() error {
 	if s.writer != nil {
 		s.writer.Close()
 	}
+	var err error
+	if s.rec != nil {
+		if cerr := s.rec.Close(); cerr != nil {
+			err = fmt.Errorf("train: telemetry: %w", cerr)
+		}
+	}
 	s.eng.Close()
+	return err
 }
+
+// Telemetry exposes the session's telemetry recorder (nil unless built
+// WithTelemetry) for direct Summary reads between Runs.
+func (s *Session) Telemetry() *telemetry.Recorder { return s.rec }
 
 // GlobalBatch returns the effective global batch size.
 func (s *Session) GlobalBatch() int { return s.eng.GlobalBatch() }
@@ -370,6 +379,13 @@ func (s *Session) drainWriterEvents() {
 		return
 	}
 	for _, ev := range s.writer.Drain() {
+		if s.rec != nil {
+			rec := telemetry.SnapshotRecord{Step: ev.Step, Path: ev.Path, Wall: ev.Elapsed}
+			if ev.Err != nil {
+				rec.Err = ev.Err.Error()
+			}
+			s.rec.SnapshotDone(rec)
+		}
 		s.NotifyCheckpoint(ev.Path, ev.Err)
 	}
 }
@@ -387,6 +403,14 @@ func (s *Session) Run() (*Result, error) {
 		startStep = s.resumeStep
 		s.resumePending = false
 		s.cur.Resumed = true
+	}
+	if s.rec != nil {
+		s.rec.BeginRun(telemetry.RunInfo{
+			World:         s.eng.World(),
+			GlobalBatch:   s.eng.GlobalBatch(),
+			StepsPerEpoch: s.eng.StepsPerEpoch(),
+			TotalSteps:    s.cfg.epochs * s.eng.StepsPerEpoch(),
+		})
 	}
 	loopRes, err := trainloop.Run(trainloop.Config{
 		Engine:                s.eng,
@@ -406,6 +430,15 @@ func (s *Session) Run() (*Result, error) {
 			OnEval: func(pt EvalPoint) {
 				if pt.Accuracy > s.best {
 					s.best = pt.Accuracy
+				}
+				if s.rec != nil {
+					s.rec.EvalDone(telemetry.EvalRecord{
+						Step:          pt.Step,
+						Epoch:         pt.Epoch,
+						Accuracy:      pt.Accuracy,
+						Wall:          pt.Wall,
+						SerialSamples: pt.SerialSamples,
+					})
 				}
 				for _, cb := range s.callbacks {
 					cb.OnEval(s, pt)
@@ -438,6 +471,10 @@ func (s *Session) Run() (*Result, error) {
 	}
 	res := s.cur
 	res.Result = loopRes
+	if s.rec != nil {
+		sum := s.rec.Summary()
+		res.Telemetry = &sum
+	}
 	for _, cb := range s.callbacks {
 		cb.OnEnd(s, res)
 	}

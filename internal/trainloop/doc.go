@@ -1,0 +1,23 @@
+// Package trainloop is the thin step/evaluate engine under the public
+// train.Session API. It advances a replica.Engine through a fixed number of
+// epochs, runs a pluggable evaluation strategy on a configurable cadence,
+// and records the accuracy trajectory — in particular the peak top-1
+// accuracy and the wall-clock time at which it is reached, exactly the
+// quantity plotted in the paper's Figure 1.
+//
+// Policy — progress logging, checkpointing, early stopping, metrics
+// emission — lives above this package: callers observe the loop through
+// Hooks and interrupt it through Stop.
+//
+// Seams: Evaluator is the evaluation-strategy interface — the paper's two
+// §3.3 loop structures (the sharded distributed train+eval loop versus
+// TPUEstimator's serialized evaluation worker) are Evaluator
+// implementations provided by the train package. Hooks (OnStep, OnEval,
+// OnStepEnd) observe the loop; OnStepEnd fires at the quiescent step
+// boundary where the snapshot subsystem captures state. EvalPoint carries
+// each evaluation's own wall cost and serial-sample count, which the
+// telemetry subsystem aggregates.
+//
+// Paper: §3.3 (loop structure and the serialized-evaluation bottleneck) and
+// Figure 1 (time to peak accuracy).
+package trainloop

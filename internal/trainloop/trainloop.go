@@ -1,16 +1,3 @@
-// Package trainloop is the thin step/evaluate engine under the public
-// train.Session API. It advances a replica.Engine through a fixed number of
-// epochs, runs a pluggable evaluation strategy on a configurable cadence, and
-// records the accuracy trajectory — in particular the peak top-1 accuracy and
-// the wall-clock time at which it is reached, exactly the quantity plotted in
-// the paper's Figure 1.
-//
-// Policy — progress logging, checkpointing, early stopping, metrics emission
-// — lives above this package: callers observe the loop through Hooks and
-// interrupt it through Stop. The paper's two loop structures from §3.3
-// (the sharded distributed train+eval loop versus TPUEstimator's serialized
-// evaluation worker) are Evaluator implementations provided by the train
-// package.
 package trainloop
 
 import (
@@ -85,7 +72,13 @@ type EvalPoint struct {
 	Step     int
 	Epoch    float64
 	Accuracy float64
-	Elapsed  time.Duration
+	// Elapsed is the wall-clock time since the run started.
+	Elapsed time.Duration
+	// Wall is this evaluation's own wall-clock cost.
+	Wall time.Duration
+	// SerialSamples is the evaluation samples the busiest single worker
+	// processed — the per-point form of Result.EvalSerialSamples.
+	SerialSamples int
 }
 
 // Result summarizes a run.
@@ -142,13 +135,16 @@ func Run(cfg Config) (*Result, error) {
 		if step%evalEvery == 0 || step == totalSteps {
 			evalStart := time.Now()
 			acc, serial := cfg.Evaluator.Evaluate(eng, cfg.EvalSamplesPerReplica)
+			evalWall := time.Since(evalStart)
 			res.EvalSerialSamples += serial
-			res.EvalWallTime += time.Since(evalStart)
+			res.EvalWallTime += evalWall
 			pt := EvalPoint{
-				Step:     step,
-				Epoch:    float64(step) / float64(eng.StepsPerEpoch()),
-				Accuracy: acc,
-				Elapsed:  time.Since(start),
+				Step:          step,
+				Epoch:         float64(step) / float64(eng.StepsPerEpoch()),
+				Accuracy:      acc,
+				Elapsed:       time.Since(start),
+				Wall:          evalWall,
+				SerialSamples: serial,
 			}
 			res.History = append(res.History, pt)
 			if acc > res.PeakAccuracy {

@@ -1,0 +1,11 @@
+// Package xla models the XLA memory-layout rules that drive the paper's
+// batch-size arithmetic (§2): XLA pads each tensor's batch dimension to a
+// multiple of eight, so a TPU core processing fewer than 8 examples wastes
+// cycles on padding. That is why a full 2048-core TPU-v3 pod needs a global
+// batch of at least 16384, and why the paper must make very large batches
+// work at all.
+//
+// Seams: SplitBatch shards a global batch across cores (erroring when it
+// cannot be split evenly) and PadBatch applies the multiple-of-8 padding;
+// the pod simulator charges compute on the padded per-core batch.
+package xla

@@ -1,9 +1,3 @@
-// Package xla models the XLA memory-layout rules that drive the paper's
-// batch-size arithmetic (§2): XLA pads each tensor's batch dimension to a
-// multiple of eight, so a TPU core processing fewer than 8 examples wastes
-// cycles on padding. That is why a full 2048-core TPU-v3 pod needs a global
-// batch of at least 16384, and why the paper must make very large batches
-// work at all.
 package xla
 
 import "fmt"
