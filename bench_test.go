@@ -21,16 +21,22 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"effnetscale/internal/autograd"
 	"effnetscale/internal/bf16"
 	"effnetscale/internal/comm"
 	"effnetscale/internal/data"
+	"effnetscale/internal/efficientnet"
 	"effnetscale/internal/metrics"
+	"effnetscale/internal/nn"
 	"effnetscale/internal/podsim"
 	"effnetscale/internal/replica"
 	"effnetscale/internal/schedule"
+	"effnetscale/internal/serve"
 	"effnetscale/internal/telemetry"
 	"effnetscale/internal/tensor"
 	"effnetscale/internal/topology"
@@ -692,6 +698,92 @@ func BenchmarkStep(b *testing.B) {
 				eng.Step()
 			}
 			b.ReportMetric(float64(eng.GlobalBatch())*float64(b.N)/b.Elapsed().Seconds(), "img/s")
+		})
+	}
+}
+
+// --- Inference path ---------------------------------------------------------------
+
+// BenchmarkEvalForward is the before/after for the inference-mode forward
+// split: "tape" is what replica.Evaluate used to run (an eval-mode autograd
+// forward, paying tape-node and gradient-buffer allocations it never uses),
+// "infer" is the tape-free Model.Infer path Evaluate now runs. Both compute
+// bit-identical logits (asserted by TestModelInferMatchesEvalForward), so
+// the delta is pure bookkeeping cost.
+func BenchmarkEvalForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	cfg, _ := efficientnet.ConfigByName("pico", 4)
+	cfg.Resolution = 16
+	m := efficientnet.New(rng, cfg)
+	const batch = 16
+	x := tensor.Randn(rng, 1, batch, 3, 16, 16)
+	b.Run("tape", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx := &nn.Ctx{Training: false, Precision: bf16.FP32Policy}
+			m.Forward(ctx, autograd.Constant(x))
+		}
+		b.ReportMetric(batch*float64(b.N)/b.Elapsed().Seconds(), "img/s")
+	})
+	b.Run("infer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Infer(bf16.FP32Policy, x)
+		}
+		b.ReportMetric(batch*float64(b.N)/b.Elapsed().Seconds(), "img/s")
+	})
+}
+
+// BenchmarkBatchedInference drives the serving batcher end to end
+// (admission, coalescing, pooled copy, tape-free forward, reply) at batch
+// sizes 1/8/32, with a JSONL sink attached so each measured batch flows
+// through the same kind-tagged telemetry schema the training sinks emit
+// ("serve_batch" lines, minisweep-readable). img/s is the serving
+// throughput; avg-batch confirms the coalescing actually happened.
+func BenchmarkBatchedInference(b *testing.B) {
+	for _, size := range []int{1, 8, 32} {
+		size := size
+		b.Run(fmt.Sprintf("batch%d", size), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(5))
+			cfg, _ := efficientnet.ConfigByName("pico", 4)
+			cfg.Resolution = 16
+			m := efficientnet.New(rng, cfg)
+			bt, err := serve.NewBatcher(serve.Config{
+				Provider: serve.Static{M: m, Tag: "bench"},
+				MaxBatch: size,
+				MaxWait:  500 * time.Microsecond,
+				Sinks:    []serve.Sink{serve.NewJSONL(io.Discard)},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer bt.Close()
+			px := make([]float32, bt.SampleLen())
+			for i := range px {
+				px[i] = rng.Float32()
+			}
+			// Closed-loop clients sized so batches can fill; together they
+			// issue exactly b.N requests.
+			clients := 2 * size
+			var remaining atomic.Int64
+			remaining.Store(int64(b.N))
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for remaining.Add(-1) >= 0 {
+						if _, err := bt.Predict(px); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "img/s")
+			b.ReportMetric(bt.Stats().AvgBatch, "avg-batch")
 		})
 	}
 }

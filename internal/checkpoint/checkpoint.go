@@ -122,6 +122,49 @@ func LoadWeightsFile(path string, m *efficientnet.Model) error {
 	return LoadWeights(f, m)
 }
 
+// WeightsInfo reports a weights-only checkpoint's model identity without a
+// pre-built model: family name, class count and train/eval resolution. A
+// serving loader uses this to construct the matching architecture before
+// LoadWeightsFile fills it.
+func WeightsInfo(path string) (model string, numClasses, resolution int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	defer f.Close()
+	var s weightsFile
+	if err := gob.NewDecoder(f).Decode(&s); err != nil {
+		return "", 0, 0, fmt.Errorf("checkpoint: decode %s: %w", path, err)
+	}
+	if s.Format != weightsFormat {
+		return "", 0, 0, fmt.Errorf("checkpoint: %s has format %d, not a weights-only checkpoint (want %d)", path, s.Format, weightsFormat)
+	}
+	return s.ModelName, s.NumClasses, s.Resolution, nil
+}
+
+// ModelInfo reports the model identity recorded in a snapshot's "model"
+// component — the counterpart of WeightsInfo for full training-state
+// snapshots.
+func ModelInfo(s *Snapshot) (model string, numClasses, resolution int, err error) {
+	c, err := s.Component("model")
+	if err != nil {
+		return "", 0, 0, err
+	}
+	family, err := c.Str("family")
+	if err != nil {
+		return "", 0, 0, err
+	}
+	classes, err := c.I64("classes")
+	if err != nil {
+		return "", 0, 0, err
+	}
+	res, err := c.I64("resolution")
+	if err != nil {
+		return "", 0, 0, err
+	}
+	return family, int(classes), int(res), nil
+}
+
 // --- Model state codec --------------------------------------------------------
 
 // modelState adapts an EfficientNet model to the StateCodec interface:

@@ -59,6 +59,18 @@ func NewBufferPool(n, batchSize, resolution int) *BufferPool {
 	return p
 }
 
+// Get blocks until a free buffer is available, returning nil if stop closes
+// first (nil stop never aborts). Direct consumers — the inference batcher
+// runs forwards over pooled batch tensors without a Pipeline in front — pair
+// each Get with a Put; batches delivered by a Pipeline are returned via
+// Pipeline.Recycle instead.
+func (p *BufferPool) Get(stop <-chan struct{}) *Batch { return p.get(stop) }
+
+// Put hands a buffer obtained via Get back to the pool. Putting a batch
+// twice, or a batch from another pool, panics — the double-free would alias
+// one buffer to two holders.
+func (p *BufferPool) Put(b *Batch) { p.put(b) }
+
 // get blocks until a free buffer is available or stop closes.
 func (p *BufferPool) get(stop <-chan struct{}) *Batch {
 	select {

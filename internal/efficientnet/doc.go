@@ -10,6 +10,11 @@
 // resolution-agnostic); Model exposes Params for the optimizers,
 // BatchNorms for distributed-BN wiring, and CopyWeightsFrom for replica
 // initialization. Model state serializes through checkpoint.ModelState.
+// Model.Infer is the tape-free forward (the nn inference split end to end:
+// running-stats BN, no dropout/drop-connect, no autograd allocations) —
+// the path evaluation strategies score on and internal/serve batches over;
+// it matches Forward with Training=false bit for bit
+// (TestModelInferMatchesEvalForward).
 //
 // Paper: §2 describes the EfficientNet workload whose scaling limits the
 // paper explores; Table 1/2 train B2 and B5.

@@ -1,0 +1,41 @@
+package efficientnet
+
+import (
+	"effnetscale/internal/bf16"
+	"effnetscale/internal/nn"
+	"effnetscale/internal/tensor"
+)
+
+// Infer runs the block tape-free in inference mode: drop-path is identity,
+// batch norm uses running statistics. Bit-for-bit identical to Forward with
+// ctx.Training == false under the same precision policy.
+func (b *MBConv) Infer(policy bf16.Policy, x *tensor.Tensor) *tensor.Tensor {
+	h := x
+	if b.Expand != nil {
+		h = nn.SwishTensor(b.ExpandBN.Infer(policy, b.Expand.Infer(policy, h)))
+	}
+	h = nn.SwishTensor(b.DWBN.Infer(policy, b.Depthwise.Infer(policy, h)))
+	h = b.SE.Infer(policy, h)
+	h = b.ProjectBN.Infer(policy, b.Project.Infer(policy, h))
+	if b.HasSkip {
+		h = tensor.Add(h, x)
+	}
+	return h
+}
+
+// Infer maps images [N,3,H,W] to logits [N,NumClasses] without building an
+// autograd tape — the model-level seam evaluation and serving run on. It is
+// safe for concurrent use by multiple goroutines as long as nothing mutates
+// the parameters or BN statistics meanwhile: the pass only reads model state
+// and allocates its own activations. The output is bit-for-bit identical to
+// Forward in eval mode under the same precision policy.
+func (m *Model) Infer(policy bf16.Policy, x *tensor.Tensor) *tensor.Tensor {
+	h := nn.SwishTensor(m.StemBN.Infer(policy, m.StemConv.Infer(policy, x)))
+	for _, b := range m.Blocks {
+		h = b.Infer(policy, h)
+	}
+	h = nn.SwishTensor(m.HeadBN.Infer(policy, m.HeadConv.Infer(policy, h)))
+	_, _, hh, ww := h.Dim4()
+	pooled := tensor.Scale(tensor.SumChannelNC(h), 1/float32(hh*ww)) // [N, head]
+	return m.FC.Infer(policy, pooled)
+}

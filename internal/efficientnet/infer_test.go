@@ -1,0 +1,86 @@
+package efficientnet
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"effnetscale/internal/autograd"
+	"effnetscale/internal/bf16"
+	"effnetscale/internal/nn"
+	"effnetscale/internal/tensor"
+)
+
+// newTestModel builds a pico model with perturbed BN running statistics so
+// the parity tests cannot pass by accident on the fresh-init identity stats.
+func newTestModel(t testing.TB, classes int) *Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	cfg, ok := ConfigByName("pico", classes)
+	if !ok {
+		t.Fatal("pico config missing")
+	}
+	cfg.Resolution = 32
+	m := New(rng, cfg)
+	for _, bn := range m.BatchNorms() {
+		for i := range bn.RunningMean.Data() {
+			bn.RunningMean.Data()[i] = float32(rng.NormFloat64() * 0.2)
+			bn.RunningVar.Data()[i] = float32(0.5 + rng.Float64())
+		}
+	}
+	return m
+}
+
+func TestModelInferMatchesEvalForward(t *testing.T) {
+	m := newTestModel(t, 7)
+	rng := rand.New(rand.NewSource(12))
+	x := tensor.Randn(rng, 1, 3, 3, 32, 32)
+	for pname, pol := range map[string]bf16.Policy{"fp32": bf16.FP32Policy, "bf16": bf16.DefaultPolicy} {
+		t.Run(pname, func(t *testing.T) {
+			want := m.Forward(&nn.Ctx{Precision: pol}, autograd.Constant(x)).T
+			got := m.Infer(pol, x)
+			if !tensor.SameShape(got, want) {
+				t.Fatalf("shape mismatch: got %v want %v", got.Shape(), want.Shape())
+			}
+			for i := range got.Data() {
+				if got.Data()[i] != want.Data()[i] {
+					t.Fatalf("logit %d differs: infer %v, eval-mode forward %v",
+						i, got.Data()[i], want.Data()[i])
+				}
+			}
+		})
+	}
+}
+
+// TestModelInferConcurrent exercises the serving contract: many goroutines
+// running Infer on one frozen model must neither race nor influence each
+// other's results. Run under -race in CI.
+func TestModelInferConcurrent(t *testing.T) {
+	m := newTestModel(t, 5)
+	rng := rand.New(rand.NewSource(13))
+	x := tensor.Randn(rng, 1, 2, 3, 32, 32)
+	want := m.Infer(bf16.FP32Policy, x)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 3; iter++ {
+				got := m.Infer(bf16.FP32Policy, x)
+				for i := range got.Data() {
+					if got.Data()[i] != want.Data()[i] {
+						errs <- "concurrent Infer diverged from serial result"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}

@@ -153,10 +153,13 @@ func (l *Dense) Params() []*Param { return []*Param{l.W, l.B} }
 
 // --- Activations and containers ---------------------------------------------
 
-// Activation wraps a stateless element-wise function as a Layer.
+// Activation wraps a stateless element-wise function as a Layer. F is the
+// differentiable tape form; TF is its tensor-level twin for the tape-free
+// inference path (see Inferer), set by the package constructors.
 type Activation struct {
 	Name string
 	F    func(*autograd.Value) *autograd.Value
+	TF   func(*tensor.Tensor) *tensor.Tensor
 }
 
 // Forward applies the activation.
@@ -166,10 +169,14 @@ func (l *Activation) Forward(_ *Ctx, x *autograd.Value) *autograd.Value { return
 func (l *Activation) Params() []*Param { return nil }
 
 // SwishLayer returns EfficientNet's swish activation as a Layer.
-func SwishLayer() *Activation { return &Activation{Name: "swish", F: autograd.Swish} }
+func SwishLayer() *Activation {
+	return &Activation{Name: "swish", F: autograd.Swish, TF: SwishTensor}
+}
 
 // ReLULayer returns a ReLU activation Layer.
-func ReLULayer() *Activation { return &Activation{Name: "relu", F: autograd.ReLU} }
+func ReLULayer() *Activation {
+	return &Activation{Name: "relu", F: autograd.ReLU, TF: ReLUTensor}
+}
 
 // Sequential chains layers.
 type Sequential struct {

@@ -752,10 +752,12 @@ func (e *Engine) EvaluateSerial(maxSamples int) (float64, int) {
 // >= 1 and shard non-empty.
 func (r *Replica) scoreShard(shard *data.Shard, n int) (correct, total int) {
 	bs := r.batch.Dim(0)
-	ctx := &nn.Ctx{Training: false, Precision: r.ctx.Precision}
+	// Evaluation runs on the tape-free inference forward: BN on running
+	// stats, regularizers off, no autograd allocations — bit-for-bit the
+	// logits the eval-mode tape forward produced, minus the tape.
 	score := func(imgs *tensor.Tensor, labels []int, cnt int) {
-		logits := r.Model.Forward(ctx, autograd.Constant(imgs))
-		pred := autograd.Argmax(logits.T)
+		logits := r.Model.Infer(r.ctx.Precision, imgs)
+		pred := autograd.Argmax(logits)
 		for i := 0; i < cnt; i++ {
 			if pred[i] == labels[i] {
 				correct++

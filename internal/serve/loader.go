@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"effnetscale/internal/checkpoint"
+	"effnetscale/internal/efficientnet"
+)
+
+// LoaderConfig tells a Loader where weights come from.
+type LoaderConfig struct {
+	// WeightsPath boots from a weights-only checkpoint
+	// (checkpoint.SaveWeightsFile output). Exactly one of WeightsPath and
+	// SnapshotDir must be set.
+	WeightsPath string
+	// SnapshotDir boots from the newest readable training snapshot in the
+	// directory and then watches it: each time a newer snapshot appears,
+	// its weights are loaded into a fresh model and hot-swapped in.
+	SnapshotDir string
+	// Poll is the snapshot-directory polling interval (only meaningful with
+	// SnapshotDir). Defaults to 2s; < 0 disables watching (boot only).
+	Poll time.Duration
+	// OnSwap, when non-nil, is called after each successful hot reload with
+	// the new version tag — the server's log hook. Called synchronously
+	// from the watch goroutine, so it must not block (a blocked OnSwap
+	// stalls further reloads and Close).
+	OnSwap func(tag string)
+	// OnError, when non-nil, receives watch-loop errors (an unreadable new
+	// snapshot). The loader keeps serving the old model and keeps watching.
+	OnError func(err error)
+}
+
+// loadedModel pairs weights with their version tag and source step so the
+// watcher can tell "newer" without re-parsing file names.
+type loadedModel struct {
+	m    *efficientnet.Model
+	tag  string
+	path string
+}
+
+// Loader is a ModelProvider that boots from a checkpoint and (optionally)
+// hot-reloads newer training snapshots. The swap is one atomic pointer
+// store: batches dispatched before the swap finish on the model they
+// captured, batches after see the new weights — no lock on the serving path.
+type Loader struct {
+	cfg     LoaderConfig
+	cur     atomic.Pointer[loadedModel]
+	reloads atomic.Int64
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewLoader boots the initial model (deriving the architecture from the
+// checkpoint itself via checkpoint.WeightsInfo / checkpoint.ModelInfo) and,
+// for snapshot directories, starts the watch goroutine.
+func NewLoader(cfg LoaderConfig) (*Loader, error) {
+	if (cfg.WeightsPath == "") == (cfg.SnapshotDir == "") {
+		return nil, fmt.Errorf("serve: set exactly one of WeightsPath and SnapshotDir")
+	}
+	if cfg.Poll == 0 {
+		cfg.Poll = 2 * time.Second
+	}
+	l := &Loader{
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	var lm *loadedModel
+	var err error
+	if cfg.WeightsPath != "" {
+		lm, err = loadWeightsModel(cfg.WeightsPath)
+	} else {
+		lm, err = loadLatestSnapshotModel(cfg.SnapshotDir)
+	}
+	if err != nil {
+		return nil, err
+	}
+	l.cur.Store(lm)
+	if cfg.SnapshotDir != "" && cfg.Poll > 0 {
+		go l.watch()
+	} else {
+		close(l.done)
+	}
+	return l, nil
+}
+
+// Current implements ModelProvider.
+func (l *Loader) Current() (*efficientnet.Model, string) {
+	lm := l.cur.Load()
+	return lm.m, lm.tag
+}
+
+// Reloads returns the number of successful hot swaps since boot.
+func (l *Loader) Reloads() int64 { return l.reloads.Load() }
+
+// Close stops the watch goroutine. The current model stays valid.
+func (l *Loader) Close() {
+	l.stopOnce.Do(func() { close(l.stop) })
+	<-l.done
+}
+
+// watch polls the snapshot directory and swaps in any snapshot newer than
+// the one currently serving. Weights always load into a FRESH model — the
+// serving model is read concurrently by workers and must never be mutated.
+func (l *Loader) watch() {
+	defer close(l.done)
+	ticker := time.NewTicker(l.cfg.Poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-ticker.C:
+		}
+		paths, err := checkpoint.ListSnapshots(l.cfg.SnapshotDir)
+		if err != nil {
+			l.reportError(err)
+			continue
+		}
+		if len(paths) == 0 {
+			continue
+		}
+		newest := paths[len(paths)-1]
+		if newest == l.cur.Load().path {
+			continue
+		}
+		lm, err := loadSnapshotModel(newest)
+		if err != nil {
+			l.reportError(fmt.Errorf("serve: hot reload %s: %w", newest, err))
+			continue
+		}
+		l.cur.Store(lm)
+		l.reloads.Add(1)
+		if l.cfg.OnSwap != nil {
+			l.cfg.OnSwap(lm.tag)
+		}
+	}
+}
+
+func (l *Loader) reportError(err error) {
+	if l.cfg.OnError != nil {
+		l.cfg.OnError(err)
+	}
+}
+
+// newModelFor builds the architecture a checkpoint describes. The weight
+// init is immediately overwritten, so the RNG seed is irrelevant.
+func newModelFor(family string, classes, resolution int) (*efficientnet.Model, error) {
+	cfg, ok := efficientnet.ConfigByName(family, classes)
+	if !ok {
+		return nil, fmt.Errorf("serve: checkpoint names unknown model family %q", family)
+	}
+	cfg.Resolution = resolution
+	return efficientnet.New(rand.New(rand.NewSource(1)), cfg), nil
+}
+
+// loadWeightsModel boots from a weights-only checkpoint file.
+func loadWeightsModel(path string) (*loadedModel, error) {
+	family, classes, res, err := checkpoint.WeightsInfo(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := newModelFor(family, classes, res)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkpoint.LoadWeightsFile(path, m); err != nil {
+		return nil, err
+	}
+	return &loadedModel{m: m, tag: filepath.Base(path), path: path}, nil
+}
+
+// loadSnapshotModel restores the model component of one training snapshot
+// into a fresh model.
+func loadSnapshotModel(path string) (*loadedModel, error) {
+	s, err := checkpoint.ReadSnapshotFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return snapshotModel(s, path)
+}
+
+// loadLatestSnapshotModel boots from the newest readable snapshot in dir.
+func loadLatestSnapshotModel(dir string) (*loadedModel, error) {
+	s, path, err := checkpoint.ReadLatestSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	return snapshotModel(s, path)
+}
+
+func snapshotModel(s *checkpoint.Snapshot, path string) (*loadedModel, error) {
+	family, classes, res, err := checkpoint.ModelInfo(s)
+	if err != nil {
+		return nil, err
+	}
+	m, err := newModelFor(family, classes, res)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Restore(checkpoint.ModelState(m)); err != nil {
+		return nil, err
+	}
+	return &loadedModel{m: m, tag: filepath.Base(path), path: path}, nil
+}

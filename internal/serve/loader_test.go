@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"effnetscale/internal/checkpoint"
+	"effnetscale/internal/efficientnet"
+)
+
+// writeSnapshot captures m's model state into dir under the training
+// engine's snapshot naming scheme.
+func writeSnapshot(t *testing.T, dir string, step int64, m *efficientnet.Model) string {
+	t.Helper()
+	s := checkpoint.NewSnapshot()
+	if err := s.Capture(checkpoint.ModelState(m)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("step-%09d.ckpt", step))
+	if err := checkpoint.WriteSnapshotFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// logitsOf runs one deterministic prediction through a batcher over the
+// given provider.
+func logitsOf(t *testing.T, p ModelProvider) []float32 {
+	t.Helper()
+	b, err := NewBatcher(Config{Provider: p, MaxBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	pred, err := b.Predict(testPixels(b.SampleLen(), 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pred.Logits
+}
+
+func sameLogits(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLoaderBootsFromWeightsFile: the loader must reconstruct the
+// architecture from the checkpoint alone and serve the saved weights.
+func TestLoaderBootsFromWeightsFile(t *testing.T) {
+	m := testModel(t, 5, 4, 16)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := checkpoint.SaveWeightsFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(LoaderConfig{WeightsPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	lm, tag := l.Current()
+	if tag != "model.ckpt" {
+		t.Errorf("tag %q, want model.ckpt", tag)
+	}
+	if lm.Config.Name != "pico" || lm.Config.NumClasses != 4 || lm.Config.Resolution != 16 {
+		t.Errorf("loaded %s/%d/%d, want pico/4/16", lm.Config.Name, lm.Config.NumClasses, lm.Config.Resolution)
+	}
+	// Served logits must match the saved model bit for bit.
+	if !sameLogits(logitsOf(t, l), logitsOf(t, Static{M: m})) {
+		t.Error("loader-served logits differ from the saved model's")
+	}
+}
+
+// TestLoaderBootsFromLatestSnapshot: with several snapshots in the
+// directory, boot picks the newest.
+func TestLoaderBootsFromLatestSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	old := testModel(t, 1, 4, 16)
+	newer := testModel(t, 2, 4, 16)
+	writeSnapshot(t, dir, 10, old)
+	writeSnapshot(t, dir, 20, newer)
+	l, err := NewLoader(LoaderConfig{SnapshotDir: dir, Poll: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, tag := l.Current(); tag != "step-000000020.ckpt" {
+		t.Errorf("tag %q, want step-000000020.ckpt", tag)
+	}
+	if !sameLogits(logitsOf(t, l), logitsOf(t, Static{M: newer})) {
+		t.Error("loader did not serve the newest snapshot's weights")
+	}
+}
+
+// TestLoaderHotReload: a new snapshot appearing in the watched directory
+// must swap in without restarting, and predictions issued throughout must
+// all succeed (run under -race this covers the swap-vs-serve interleaving).
+func TestLoaderHotReload(t *testing.T) {
+	dir := t.TempDir()
+	v1 := testModel(t, 1, 4, 16)
+	v2 := testModel(t, 2, 4, 16)
+	writeSnapshot(t, dir, 1, v1)
+	swapped := make(chan string, 1)
+	l, err := NewLoader(LoaderConfig{
+		SnapshotDir: dir,
+		Poll:        5 * time.Millisecond,
+		OnSwap:      func(tag string) { swapped <- tag },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	b, err := NewBatcher(Config{Provider: l, MaxBatch: 4, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// Keep traffic flowing across the swap.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			px := testPixels(b.SampleLen(), int64(g))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := b.Predict(px); err != nil {
+					t.Errorf("predict during reload: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	writeSnapshot(t, dir, 2, v2)
+	select {
+	case tag := <-swapped:
+		if tag != "step-000000002.ckpt" {
+			t.Errorf("swapped to %q, want step-000000002.ckpt", tag)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("hot reload never happened")
+	}
+	close(stop)
+	wg.Wait()
+	if n := l.Reloads(); n != 1 {
+		t.Errorf("reloads %d, want 1", n)
+	}
+	if !sameLogits(logitsOf(t, l), logitsOf(t, Static{M: v2})) {
+		t.Error("post-reload logits do not match the new snapshot's weights")
+	}
+}
+
+// TestLoaderKeepsServingOnCorruptSnapshot: an unreadable new snapshot must
+// not take down the server — the old model keeps serving and the error
+// surfaces through OnError.
+func TestLoaderKeepsServingOnCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	v1 := testModel(t, 1, 4, 16)
+	writeSnapshot(t, dir, 1, v1)
+	errc := make(chan error, 16)
+	l, err := NewLoader(LoaderConfig{
+		SnapshotDir: dir,
+		Poll:        5 * time.Millisecond,
+		OnError: func(err error) {
+			select {
+			case errc <- err:
+			default: // the same bad snapshot reports every poll; don't block the watcher
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := os.WriteFile(filepath.Join(dir, "step-000000002.ckpt"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if !strings.Contains(err.Error(), "step-000000002.ckpt") {
+			t.Errorf("error does not name the bad snapshot: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("corrupt snapshot never reported")
+	}
+	if _, tag := l.Current(); tag != "step-000000001.ckpt" {
+		t.Errorf("still-serving tag %q, want step-000000001.ckpt", tag)
+	}
+	if l.Reloads() != 0 {
+		t.Errorf("reloads %d, want 0", l.Reloads())
+	}
+}
+
+func TestLoaderConfigValidation(t *testing.T) {
+	if _, err := NewLoader(LoaderConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := NewLoader(LoaderConfig{WeightsPath: "a", SnapshotDir: "b"}); err == nil {
+		t.Error("both sources accepted")
+	}
+	if _, err := NewLoader(LoaderConfig{SnapshotDir: t.TempDir()}); err == nil {
+		t.Error("empty snapshot dir accepted")
+	}
+}

@@ -1,0 +1,374 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"effnetscale/internal/autograd"
+	"effnetscale/internal/bf16"
+	"effnetscale/internal/data"
+	"effnetscale/internal/efficientnet"
+	"effnetscale/internal/tensor"
+)
+
+// Sentinel errors Predict can return, testable with errors.Is.
+var (
+	// ErrClosed reports a Predict after Close.
+	ErrClosed = errors.New("serve: batcher closed")
+	// ErrOverloaded reports load shedding: the request queue was full. The
+	// caller should back off; the server stays healthy.
+	ErrOverloaded = errors.New("serve: request queue full")
+)
+
+// ModelProvider yields the model a batch runs on. Current is called once per
+// coalesced batch, so a swap between batches takes effect immediately while
+// a batch already dispatched finishes on the model it captured. The returned
+// model must be safe for concurrent tape-free reads (nothing may mutate its
+// parameters or BN statistics while it is current or in flight).
+type ModelProvider interface {
+	// Current returns the model and a human-readable version tag
+	// (checkpoint file name, snapshot step) stamped into predictions.
+	Current() (*efficientnet.Model, string)
+}
+
+// Static is a ModelProvider pinned to one model — the no-hot-reload case and
+// the test seam.
+type Static struct {
+	M   *efficientnet.Model
+	Tag string
+}
+
+// Current implements ModelProvider.
+func (s Static) Current() (*efficientnet.Model, string) { return s.M, s.Tag }
+
+// Config assembles a Batcher.
+type Config struct {
+	// Provider supplies the model (required). Its model's resolution and
+	// class count fix the request shape.
+	Provider ModelProvider
+	// MaxBatch is the coalescing limit: a full batch flushes immediately.
+	// Defaults to 32.
+	MaxBatch int
+	// MaxWait bounds how long the oldest queued request waits for the batch
+	// to fill before a partial batch flushes. Defaults to 2ms.
+	MaxWait time.Duration
+	// Workers is the number of concurrent inference workers. Defaults to 1;
+	// raise it when forwards underuse the host (small batches, multi-core).
+	Workers int
+	// QueueCap bounds queued-but-undispatched requests; beyond it Predict
+	// sheds load with ErrOverloaded. Defaults to 4×MaxBatch (min 16).
+	QueueCap int
+	// Precision is the inference mixed-precision policy. The zero value is
+	// full fp32 — unlike training, serving defaults to fp32 because the
+	// bf16 emulation's per-call operand rounding is pure overhead off-TPU.
+	Precision bf16.Policy
+	// Sinks receive a BatchRecord per completed batch, after the requests
+	// are answered. The Batcher closes them on Close.
+	Sinks []Sink
+}
+
+// request is one queued Predict call.
+type request struct {
+	pixels []float32
+	enq    time.Time
+	resp   chan result
+}
+
+type result struct {
+	pred Prediction
+	err  error
+}
+
+// Prediction is one request's inference result.
+type Prediction struct {
+	// Class is the argmax class index.
+	Class int
+	// Logits are the raw per-class scores (caller-owned copy).
+	Logits []float32
+	// Model is the version tag of the weights that served the request.
+	Model string
+	// BatchSize is the coalesced batch the request rode in — the
+	// observability hook for verifying batching behavior end to end.
+	BatchSize int
+	// Latency is enqueue-to-reply wall time.
+	Latency time.Duration
+}
+
+// Batcher coalesces concurrent Predict calls into batched tape-free
+// forwards. Construct with NewBatcher; all methods are safe for concurrent
+// use.
+type Batcher struct {
+	cfg       Config
+	res       int // input resolution, from the provider's model
+	classes   int
+	sampleLen int // 3 × res × res
+
+	queue chan *request
+	work  chan []*request
+
+	mu     sync.RWMutex // guards closed ↔ queue sends (close-vs-send race)
+	closed bool
+
+	dispatcherDone chan struct{}
+	workers        sync.WaitGroup
+	closeOnce      sync.Once
+	closeErr       error
+
+	pool  *data.BufferPool
+	stats *Stats
+	sinks []Sink
+}
+
+// NewBatcher validates cfg, applies defaults, and starts the dispatcher and
+// worker goroutines.
+func NewBatcher(cfg Config) (*Batcher, error) {
+	if cfg.Provider == nil {
+		return nil, fmt.Errorf("serve: Config.Provider is required")
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 32
+	}
+	if cfg.MaxBatch < 1 {
+		return nil, fmt.Errorf("serve: MaxBatch %d must be >= 1", cfg.MaxBatch)
+	}
+	if cfg.MaxWait == 0 {
+		cfg.MaxWait = 2 * time.Millisecond
+	}
+	if cfg.MaxWait < 0 {
+		return nil, fmt.Errorf("serve: MaxWait %v must be >= 0", cfg.MaxWait)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("serve: Workers %d must be >= 1", cfg.Workers)
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 4 * cfg.MaxBatch
+		if cfg.QueueCap < 16 {
+			cfg.QueueCap = 16
+		}
+	}
+	if cfg.QueueCap < 1 {
+		return nil, fmt.Errorf("serve: QueueCap %d must be >= 1", cfg.QueueCap)
+	}
+	m, _ := cfg.Provider.Current()
+	if m == nil {
+		return nil, fmt.Errorf("serve: provider has no current model")
+	}
+	res := m.Config.Resolution
+	b := &Batcher{
+		cfg:            cfg,
+		res:            res,
+		classes:        m.Config.NumClasses,
+		sampleLen:      3 * res * res,
+		queue:          make(chan *request, cfg.QueueCap),
+		work:           make(chan []*request),
+		dispatcherDone: make(chan struct{}),
+		// One pooled input tensor per worker: a worker holds at most one
+		// batch buffer at a time, so Get below never blocks.
+		pool:  data.NewBufferPool(cfg.Workers, cfg.MaxBatch, res),
+		stats: NewStats(cfg.MaxBatch),
+	}
+	b.sinks = append([]Sink{b.stats}, cfg.Sinks...)
+	go b.dispatch()
+	for i := 0; i < cfg.Workers; i++ {
+		b.workers.Add(1)
+		go b.worker()
+	}
+	return b, nil
+}
+
+// Resolution returns the input resolution requests must match.
+func (b *Batcher) Resolution() int { return b.res }
+
+// Classes returns the model's class count (the logits length).
+func (b *Batcher) Classes() int { return b.classes }
+
+// SampleLen returns the required pixel-slice length: 3 × res × res, NCHW.
+func (b *Batcher) SampleLen() int { return b.sampleLen }
+
+// Predict enqueues one image ([3,res,res] pixels, flattened NCHW) and blocks
+// until its batch has been served. It never blocks on a full queue: beyond
+// QueueCap it fails fast with ErrOverloaded so saturation shows up as shed
+// load, not unbounded latency. The pixel slice is copied into the pooled
+// batch tensor at dispatch; the caller may reuse it once Predict returns.
+func (b *Batcher) Predict(pixels []float32) (Prediction, error) {
+	if len(pixels) != b.sampleLen {
+		return Prediction{}, fmt.Errorf("serve: got %d pixels, want %d (3×%d×%d NCHW)",
+			len(pixels), b.sampleLen, b.res, b.res)
+	}
+	r := &request{pixels: pixels, enq: time.Now(), resp: make(chan result, 1)}
+	// The read lock excludes Close's closed=true + close(queue) transition,
+	// so a send can never hit a closed channel.
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return Prediction{}, ErrClosed
+	}
+	select {
+	case b.queue <- r:
+		b.mu.RUnlock()
+	default:
+		b.mu.RUnlock()
+		b.stats.dropped.Add(1)
+		return Prediction{}, ErrOverloaded
+	}
+	res := <-r.resp
+	return res.pred, res.err
+}
+
+// dispatch is the coalescing loop: it owns the pending batch and flushes on
+// max-batch-size or the max-wait deadline, whichever comes first.
+func (b *Batcher) dispatch() {
+	defer close(b.dispatcherDone)
+	defer close(b.work)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	timerLive := false
+	stopTimer := func() {
+		if timerLive && !timer.Stop() {
+			<-timer.C
+		}
+		timerLive = false
+	}
+	var pending []*request
+	flush := func() {
+		stopTimer()
+		if len(pending) == 0 {
+			return
+		}
+		// An unbuffered work channel is deliberate backpressure: when every
+		// worker is busy the dispatcher blocks here, the queue fills, and
+		// Predict starts shedding — saturation surfaces at admission.
+		b.work <- pending
+		pending = nil
+	}
+	for {
+		if len(pending) == 0 {
+			r, ok := <-b.queue
+			if !ok {
+				return
+			}
+			pending = append(pending, r)
+			if len(pending) >= b.cfg.MaxBatch {
+				flush()
+				continue
+			}
+			timer.Reset(b.cfg.MaxWait)
+			timerLive = true
+		}
+		select {
+		case r, ok := <-b.queue:
+			if !ok {
+				// Close drained the senders; serve what we already hold.
+				flush()
+				return
+			}
+			pending = append(pending, r)
+			if len(pending) >= b.cfg.MaxBatch {
+				flush()
+			}
+		case <-timer.C:
+			timerLive = false
+			flush()
+		}
+	}
+}
+
+// worker runs coalesced batches until the dispatcher closes the work
+// channel.
+func (b *Batcher) worker() {
+	defer b.workers.Done()
+	for reqs := range b.work {
+		b.runBatch(reqs)
+	}
+}
+
+// runBatch copies the requests into a pooled input tensor, captures the
+// provider's current model, runs one tape-free forward, and answers every
+// request. A model swap between batches is invisible here: the pointer is
+// read once, so in-flight requests always finish on the weights they
+// started with.
+func (b *Batcher) runBatch(reqs []*request) {
+	buf := b.pool.Get(nil)
+	defer b.pool.Put(buf)
+	n := len(reqs)
+	for i, r := range reqs {
+		copy(buf.Images.Data()[i*b.sampleLen:(i+1)*b.sampleLen], r.pixels)
+	}
+	m, tag := b.cfg.Provider.Current()
+	if m.Config.Resolution != b.res || m.Config.NumClasses != b.classes {
+		err := fmt.Errorf("serve: current model %q is %d classes @ res %d, batcher built for %d @ %d",
+			tag, m.Config.NumClasses, m.Config.Resolution, b.classes, b.res)
+		for _, r := range reqs {
+			r.resp <- result{err: err}
+		}
+		return
+	}
+	// Ragged batches run on a view of the pooled tensor's first n samples —
+	// no copy, and no wasted forward compute on stale tail slots.
+	view := buf.Images
+	if n < buf.Images.Dim(0) {
+		view = tensor.FromSlice(buf.Images.Data()[:n*b.sampleLen], n, 3, b.res, b.res)
+	}
+	t0 := time.Now()
+	logits := m.Infer(b.cfg.Precision, view)
+	inferWall := time.Since(t0)
+	preds := autograd.Argmax(logits)
+	k := logits.Dim(1)
+	rec := BatchRecord{
+		Size:       n,
+		QueueDepth: len(b.queue),
+		Infer:      inferWall,
+		Model:      tag,
+		Latencies:  make([]time.Duration, n),
+	}
+	now := time.Now()
+	for i, r := range reqs {
+		out := make([]float32, k)
+		copy(out, logits.Data()[i*k:(i+1)*k])
+		lat := now.Sub(r.enq)
+		rec.Latencies[i] = lat
+		r.resp <- result{pred: Prediction{
+			Class:     preds[i],
+			Logits:    out,
+			Model:     tag,
+			BatchSize: n,
+			Latency:   lat,
+		}}
+	}
+	for _, s := range b.sinks {
+		s.Record(rec)
+	}
+}
+
+// Stats returns a consistent snapshot of the serve-side telemetry: request
+// and batch counts, shed load, the batch-size histogram, and latency
+// percentiles.
+func (b *Batcher) Stats() StatsSnapshot { return b.stats.Snapshot() }
+
+// Close stops admission, serves every request already queued (clean
+// shutdown: in-flight and queued requests all get answers), waits for the
+// workers to drain, then closes the sinks. Idempotent; subsequent Predict
+// calls return ErrClosed.
+func (b *Batcher) Close() error {
+	b.closeOnce.Do(func() {
+		b.mu.Lock()
+		b.closed = true
+		close(b.queue)
+		b.mu.Unlock()
+		<-b.dispatcherDone
+		b.workers.Wait()
+		for _, s := range b.sinks {
+			if err := s.Close(); err != nil && b.closeErr == nil {
+				b.closeErr = err
+			}
+		}
+	})
+	return b.closeErr
+}

@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BatchRecord describes one completed coalesced batch — the serve-side unit
+// of telemetry, as a training step is for package telemetry.
+type BatchRecord struct {
+	// Size is the number of requests coalesced into the batch.
+	Size int
+	// QueueDepth is the admission-queue depth observed right after the
+	// batch ran — how far behind admission the serving loop is.
+	QueueDepth int
+	// Infer is the wall time of the forward pass alone.
+	Infer time.Duration
+	// Model is the version tag of the weights that served the batch.
+	Model string
+	// Latencies are the per-request enqueue-to-reply times.
+	Latencies []time.Duration
+}
+
+// Sink consumes batch records. The worker calls sinks synchronously after
+// answering the batch's requests, so a slow sink delays the next batch that
+// worker picks up, not the replies themselves.
+type Sink interface {
+	Record(BatchRecord)
+	// Close flushes buffered output. The sink must not be used after Close.
+	Close() error
+}
+
+// maxLatencySamples bounds the percentile reservoir: a ring of the most
+// recent request latencies, so long-running servers report recent behavior
+// in O(1) memory rather than averaging over their whole lifetime.
+const maxLatencySamples = 4096
+
+// Stats aggregates batch records into the numbers behind /stats and the load
+// generator's report: counts, the batch-size histogram, and latency
+// percentiles over a sliding window. It is itself a Sink and is always the
+// first one a Batcher records to. Safe for concurrent use.
+type Stats struct {
+	dropped atomic.Int64 // ErrOverloaded count, bumped by Predict directly
+
+	mu       sync.Mutex
+	requests int64
+	batches  int64
+	sizeHist []int64 // index = batch size, 0 unused
+	infer    time.Duration
+	queueSum int64
+	lat      []time.Duration // ring of recent latencies
+	latNext  int
+	latFull  bool
+}
+
+// NewStats builds an aggregator for batches up to maxBatch requests.
+func NewStats(maxBatch int) *Stats {
+	return &Stats{sizeHist: make([]int64, maxBatch+1)}
+}
+
+// Record implements Sink.
+func (s *Stats) Record(r BatchRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batches++
+	s.requests += int64(r.Size)
+	if r.Size >= 0 && r.Size < len(s.sizeHist) {
+		s.sizeHist[r.Size]++
+	}
+	s.infer += r.Infer
+	s.queueSum += int64(r.QueueDepth)
+	for _, l := range r.Latencies {
+		if len(s.lat) < maxLatencySamples {
+			s.lat = append(s.lat, l)
+		} else {
+			s.lat[s.latNext] = l
+			s.latNext = (s.latNext + 1) % maxLatencySamples
+			s.latFull = true
+		}
+	}
+}
+
+// Close implements Sink.
+func (s *Stats) Close() error { return nil }
+
+// StatsSnapshot is a consistent copy of the aggregate serving telemetry,
+// shaped for JSON (/stats) as well as for programmatic assertions. Durations
+// are reported in milliseconds.
+type StatsSnapshot struct {
+	// Requests is the number of requests served (not shed).
+	Requests int64 `json:"requests"`
+	// Batches is the number of coalesced forwards run.
+	Batches int64 `json:"batches"`
+	// Dropped is the number of requests shed with ErrOverloaded.
+	Dropped int64 `json:"dropped"`
+	// AvgBatch is Requests/Batches — the realized coalescing factor.
+	AvgBatch float64 `json:"avg_batch"`
+	// AvgQueueDepth is the mean admission-queue depth sampled per batch.
+	AvgQueueDepth float64 `json:"avg_queue_depth"`
+	// BatchHist maps batch size → count for every size that occurred.
+	BatchHist map[int]int64 `json:"batch_hist"`
+	// InferMS is cumulative forward wall time.
+	InferMS float64 `json:"infer_ms"`
+	// P50/P95/P99 are request-latency percentiles over the most recent
+	// window (up to 4096 requests).
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// Snapshot computes the current aggregate view.
+func (s *Stats) Snapshot() StatsSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := StatsSnapshot{
+		Requests:  s.requests,
+		Batches:   s.batches,
+		Dropped:   s.dropped.Load(),
+		BatchHist: make(map[int]int64),
+		InferMS:   ms(s.infer),
+	}
+	if s.batches > 0 {
+		snap.AvgBatch = float64(s.requests) / float64(s.batches)
+		snap.AvgQueueDepth = float64(s.queueSum) / float64(s.batches)
+	}
+	for size, n := range s.sizeHist {
+		if n > 0 {
+			snap.BatchHist[size] = n
+		}
+	}
+	window := s.lat
+	if s.latFull {
+		window = s.lat[:maxLatencySamples]
+	}
+	if len(window) > 0 {
+		sorted := append([]time.Duration(nil), window...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		snap.P50MS = ms(percentile(sorted, 50))
+		snap.P95MS = ms(percentile(sorted, 95))
+		snap.P99MS = ms(percentile(sorted, 99))
+	}
+	return snap
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// --- JSONL -------------------------------------------------------------------
+
+// JSONLSink streams one line per batch in the training telemetry's JSONL
+// schema — kind-tagged ("serve_batch"), so serve and train records merge
+// into one file and split back apart on kind. The caller owns the underlying
+// writer's lifetime; Close flushes but does not close files.
+type JSONLSink struct {
+	// Label, when non-empty, is stamped into every line as "run", matching
+	// the training sink's sweep convention.
+	Label string
+
+	mu sync.Mutex
+	w  *bufio.Writer
+	e  *json.Encoder
+}
+
+// NewJSONL builds a JSONL sink over w.
+func NewJSONL(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, e: json.NewEncoder(bw)}
+}
+
+// jsonlBatch mirrors the fixed-field style of the training line structs:
+// every measured value always present, so 0 means zero, not "not reported".
+type jsonlBatch struct {
+	Kind string `json:"kind"`
+	Run  string `json:"run,omitempty"`
+
+	Size       int     `json:"size"`
+	QueueDepth int     `json:"queue_depth"`
+	InferMS    float64 `json:"infer_ms"`
+	Model      string  `json:"model"`
+	LatMinMS   float64 `json:"lat_min_ms"`
+	LatMaxMS   float64 `json:"lat_max_ms"`
+	LatMeanMS  float64 `json:"lat_mean_ms"`
+}
+
+// Record implements Sink. The worker pool means concurrent Records; the
+// encoder is serialized under a mutex.
+func (s *JSONLSink) Record(r BatchRecord) {
+	line := jsonlBatch{
+		Kind: "serve_batch", Run: s.Label,
+		Size: r.Size, QueueDepth: r.QueueDepth,
+		InferMS: ms(r.Infer), Model: r.Model,
+	}
+	if len(r.Latencies) > 0 {
+		min, max, sum := r.Latencies[0], r.Latencies[0], time.Duration(0)
+		for _, l := range r.Latencies {
+			if l < min {
+				min = l
+			}
+			if l > max {
+				max = l
+			}
+			sum += l
+		}
+		line.LatMinMS = ms(min)
+		line.LatMaxMS = ms(max)
+		line.LatMeanMS = ms(sum) / float64(len(r.Latencies))
+	}
+	s.mu.Lock()
+	s.e.Encode(line)
+	s.mu.Unlock()
+}
+
+// Close implements Sink (flushes; the underlying writer stays open).
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Flush()
+}
