@@ -42,6 +42,7 @@ func main() {
 	var (
 		model      = flag.String("model", "pico", "model variant (pico, nano, micro, b0..b7)")
 		replicas   = flag.Int("replicas", 4, "number of data-parallel replicas")
+		shards     = flag.Int("model-shards", 1, "model-parallel shards per replica group: lays -replicas ranks out as a (replicas/shards)×shards mesh (must divide -replicas; 1 = pure data parallelism)")
 		perBatch   = flag.Int("per-replica-batch", 16, "per-replica batch size")
 		opt        = flag.String("optimizer", "lars", "optimizer: sgd, rmsprop, lars, adam, lamb, sm3")
 		lrPer256   = flag.Float64("lr-per-256", 40, "learning rate per 256 samples (linear scaling rule; LARS wants ~40, SGD ~0.4)")
@@ -101,9 +102,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *shards < 1 || *replicas%*shards != 0 {
+		fmt.Fprintf(os.Stderr, "effnettrain: -model-shards %d must divide -replicas %d\n", *shards, *replicas)
+		os.Exit(2)
+	}
+
 	opts := []train.Option{
 		train.WithModel(*model),
 		train.WithWorld(*replicas),
+		// The mesh lays the same ranks out as data × model axes; with
+		// -model-shards 1 this is WithWorld(replicas), bit for bit.
+		train.WithMesh(*replicas / *shards, *shards),
 		train.WithPerReplicaBatch(*perBatch),
 		train.WithGradAccum(*gradAccum),
 		train.WithData(data.Config{
@@ -219,8 +228,8 @@ func main() {
 		fmt.Printf("effnettrain: resumed from %s at step %d\n", path, step)
 	}
 
-	fmt.Printf("effnettrain: %s on %d replicas, global batch %d, %s + %s decay (peak LR %.3f), BN group %d, %s all-reduce, %s eval, prefetch %d\n",
-		*model, *replicas, sess.GlobalBatch(), *opt, *decay, schedule.ScaledLR(*lrPer256, sess.GlobalBatch()), *bnGroup, sess.Engine().Algorithm(), strategy.Name(), sess.Engine().Prefetching())
+	fmt.Printf("effnettrain: %s on %d replicas (mesh %s), global batch %d, %s + %s decay (peak LR %.3f), BN group %d, %s all-reduce, %s eval, prefetch %d\n",
+		*model, *replicas, sess.Engine().Mesh(), sess.GlobalBatch(), *opt, *decay, schedule.ScaledLR(*lrPer256, sess.GlobalBatch()), *bnGroup, sess.Engine().Algorithm(), strategy.Name(), sess.Engine().Prefetching())
 
 	res, err := sess.Run()
 	if err != nil {

@@ -30,6 +30,7 @@ func main() {
 		optimizers = flag.String("optimizers", "rmsprop,lars", "comma-separated optimizer list")
 		batches    = flag.String("batches", "64,256,1024", "comma-separated global batch sizes")
 		bnGroups   = flag.String("bn-groups", "", "comma-separated BN group sizes (default: world)")
+		shards     = flag.String("model-shards", "1", "comma-separated model-parallel shard counts: each cell lays replicas×shards ranks out as a replicas×shards mesh (1 = pure data parallelism)")
 		epochs     = flag.Int("epochs", 5, "epochs per run")
 		classes    = flag.Int("classes", 8, "SynthImageNet classes")
 		trainSize  = flag.Int("train-size", 4096, "training images")
@@ -66,17 +67,19 @@ func main() {
 		groupList = parseInts(*bnGroups)
 	}
 
-	fmt.Println("optimizer,global_batch,bn_group,steps,train_acc,val_acc,img_per_s,overlap_eff")
+	fmt.Println("optimizer,global_batch,bn_group,model_shards,steps,train_acc,val_acc,img_per_s,overlap_eff")
 	for _, opt := range strings.Split(*optimizers, ",") {
 		for _, batch := range parseInts(*batches) {
 			for _, group := range groupList {
-				cell, err := runOne(ds, *model, opt, *world, batch, group, *epochs, *seed, *larsLR, *rmsLR, telFile)
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "minisweep: %s batch %d: %v\n", opt, batch, err)
-					os.Exit(1)
+				for _, ms := range parseInts(*shards) {
+					cell, err := runOne(ds, *model, opt, *world, ms, batch, group, *epochs, *seed, *larsLR, *rmsLR, telFile)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "minisweep: %s batch %d shards %d: %v\n", opt, batch, ms, err)
+						os.Exit(1)
+					}
+					fmt.Printf("%s,%d,%d,%d,%d,%.4f,%.4f,%.1f,%.4f\n", opt, batch, group, ms,
+						cell.steps, cell.trainAcc, cell.valAcc, cell.imgPerSec, cell.overlap)
 				}
-				fmt.Printf("%s,%d,%d,%d,%.4f,%.4f,%.1f,%.4f\n", opt, batch, group,
-					cell.steps, cell.trainAcc, cell.valAcc, cell.imgPerSec, cell.overlap)
 			}
 		}
 	}
@@ -122,7 +125,7 @@ type cellResult struct {
 	overlap          float64
 }
 
-func runOne(ds *data.Dataset, model, opt string, world, globalBatch, bnGroup, epochs int, seed int64, larsLR, rmsLR float64, telFile io.Writer) (cell cellResult, retErr error) {
+func runOne(ds *data.Dataset, model, opt string, world, modelShards, globalBatch, bnGroup, epochs int, seed int64, larsLR, rmsLR float64, telFile io.Writer) (cell cellResult, retErr error) {
 	perBatch := globalBatch / world
 	if perBatch < 1 {
 		return cellResult{}, fmt.Errorf("global batch %d too small for %d replicas", globalBatch, world)
@@ -134,12 +137,15 @@ func runOne(ds *data.Dataset, model, opt string, world, globalBatch, bnGroup, ep
 	var sinks []telemetry.Sink
 	if telFile != nil {
 		sink := telemetry.NewJSONL(telFile)
-		sink.Label = fmt.Sprintf("%s_b%d_bn%d", opt, globalBatch, bnGroup)
+		sink.Label = fmt.Sprintf("%s_b%d_bn%d_ms%d", opt, globalBatch, bnGroup, modelShards)
 		sinks = append(sinks, sink)
 	}
 	sess, err := train.New(
 		train.WithModel(model),
-		train.WithWorld(world),
+		// world data replicas × modelShards model shards: the global batch
+		// stays world×perBatch, the extra ranks shard parameters, and the
+		// img/s / overlap columns report each mesh shape's cost.
+		train.WithMesh(world, modelShards),
 		train.WithPerReplicaBatch(perBatch),
 		train.WithDataset(ds),
 		train.WithOptimizer(opt, 1e-5),

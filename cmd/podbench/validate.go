@@ -36,5 +36,8 @@ func printValidate(csv bool) error {
 		}
 	}
 	emit(sum, csv)
-	return nil
+	fmt.Println()
+	// The hybrid table reuses the fitted constants: the §5 D×M step model
+	// priced under the α-β fit above, against real mesh-engine step times.
+	return printValidateHybrid(csv, v.Fit)
 }

@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -12,12 +13,36 @@ import (
 	"effnetscale/internal/nn"
 )
 
-// weightsFormat is the legacy weights-only format version.
-const weightsFormat = 1
+// Weights-only format versions. They share one number space with
+// SnapshotFormat (2) so each reader can recognize the other kind of file and
+// point at the right API instead of failing on a field mismatch.
+const (
+	// weightsFormatMap is the original weights-only layout: parameters in a
+	// gob map, whose encoding order gob randomizes — two saves of identical
+	// weights produce different bytes. Still readable, no longer written.
+	weightsFormatMap = 1
+	// weightsFormat is the current weights-only layout: parameters as a
+	// name-sorted slice, so identical weights always encode to identical
+	// bytes and two checkpoints can be compared with cmp/sha256sum.
+	weightsFormat = 3
+)
 
-// weightsFile is the on-disk representation of the legacy weights-only
-// format (the gob layout of the original checkpoint.Save).
+// weightsFile is the on-disk representation of the current weights-only
+// format: the header of the original checkpoint.Save with the parameter map
+// replaced by a name-sorted slice for deterministic encoding.
 type weightsFile struct {
+	Format     int
+	ModelName  string
+	NumClasses int
+	Resolution int
+	Params     []namedBlob
+	BNMeans    []tensorBlob
+	BNVars     []tensorBlob
+}
+
+// legacyWeightsFile is the format-1 layout (the gob shape of the original
+// checkpoint.Save), kept so old checkpoints load unchanged.
+type legacyWeightsFile struct {
 	Format     int
 	ModelName  string
 	NumClasses int
@@ -32,26 +57,37 @@ type tensorBlob struct {
 	Data  []float32
 }
 
+type namedBlob struct {
+	Name  string
+	Shape []int
+	Data  []float32
+}
+
 // SaveWeights writes the model's parameters and BN running statistics to w
-// in the weights-only serving format (previously checkpoint.Save). Full
-// training state belongs in a Snapshot instead.
+// in the weights-only serving format (previously checkpoint.Save). The
+// encoding is deterministic: saving the same weights twice produces
+// byte-identical output, so two training runs can be compared with cmp on
+// their checkpoints. Full training state belongs in a Snapshot instead.
 func SaveWeights(w io.Writer, m *efficientnet.Model) error {
 	s := weightsFile{
 		Format:     weightsFormat,
 		ModelName:  m.Config.Name,
 		NumClasses: m.Config.NumClasses,
 		Resolution: m.Config.Resolution,
-		Params:     make(map[string]tensorBlob),
 	}
+	seen := make(map[string]bool)
 	for _, p := range m.Params() {
-		if _, dup := s.Params[p.Name]; dup {
+		if seen[p.Name] {
 			return fmt.Errorf("checkpoint: duplicate parameter name %q", p.Name)
 		}
-		s.Params[p.Name] = tensorBlob{
+		seen[p.Name] = true
+		s.Params = append(s.Params, namedBlob{
+			Name:  p.Name,
 			Shape: append([]int(nil), p.Data().Shape()...),
 			Data:  append([]float32(nil), p.Data().Data()...),
-		}
+		})
 	}
+	sort.Slice(s.Params, func(i, j int) bool { return s.Params[i].Name < s.Params[j].Name })
 	for _, bn := range m.BatchNorms() {
 		s.BNMeans = append(s.BNMeans, tensorBlob{Shape: bn.RunningMean.Shape(), Data: append([]float32(nil), bn.RunningMean.Data()...)})
 		s.BNVars = append(s.BNVars, tensorBlob{Shape: bn.RunningVar.Shape(), Data: append([]float32(nil), bn.RunningVar.Data()...)})
@@ -59,15 +95,52 @@ func SaveWeights(w io.Writer, m *efficientnet.Model) error {
 	return gob.NewEncoder(w).Encode(s)
 }
 
+// decodeWeights reads either weights-only layout from r and returns the
+// normalized contents (parameters keyed by name). Format validation belongs
+// to the caller: a snapshot file decodes "successfully" here (its Format
+// field is readable, its components are not weights fields) precisely so the
+// caller can point at the snapshot API.
+func decodeWeights(r io.Reader) (*legacyWeightsFile, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read: %w", err)
+	}
+	var s weightsFile
+	serr := gob.NewDecoder(bytes.NewReader(raw)).Decode(&s)
+	if serr == nil {
+		out := &legacyWeightsFile{
+			Format:     s.Format,
+			ModelName:  s.ModelName,
+			NumClasses: s.NumClasses,
+			Resolution: s.Resolution,
+			Params:     make(map[string]tensorBlob, len(s.Params)),
+			BNMeans:    s.BNMeans,
+			BNVars:     s.BNVars,
+		}
+		for _, p := range s.Params {
+			out.Params[p.Name] = tensorBlob{Shape: p.Shape, Data: p.Data}
+		}
+		return out, nil
+	}
+	// The sorted decode fails on a format-1 file at the Params field (wire
+	// map vs local slice) — re-decode with the legacy struct.
+	var l legacyWeightsFile
+	if lerr := gob.NewDecoder(bytes.NewReader(raw)).Decode(&l); lerr != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", serr)
+	}
+	return &l, nil
+}
+
 // LoadWeights restores parameters and BN statistics into m, which must have
 // the same architecture the checkpoint was saved from (previously
-// checkpoint.Load). Files written by the old Save load unchanged.
+// checkpoint.Load). Files written by the old map-ordered Save (format 1)
+// load unchanged.
 func LoadWeights(r io.Reader, m *efficientnet.Model) error {
-	var s weightsFile
-	if err := gob.NewDecoder(r).Decode(&s); err != nil {
-		return fmt.Errorf("checkpoint: decode: %w", err)
+	s, err := decodeWeights(r)
+	if err != nil {
+		return err
 	}
-	if s.Format != weightsFormat {
+	if s.Format != weightsFormat && s.Format != weightsFormatMap {
 		if s.Format == SnapshotFormat {
 			return fmt.Errorf("checkpoint: file is a full training snapshot (format %d); restore it with ReadSnapshot / train.WithResume, or extract weights via the model codec", SnapshotFormat)
 		}
@@ -132,11 +205,11 @@ func WeightsInfo(path string) (model string, numClasses, resolution int, err err
 		return "", 0, 0, err
 	}
 	defer f.Close()
-	var s weightsFile
-	if err := gob.NewDecoder(f).Decode(&s); err != nil {
-		return "", 0, 0, fmt.Errorf("checkpoint: decode %s: %w", path, err)
+	s, err := decodeWeights(f)
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("checkpoint: %s: %w", path, err)
 	}
-	if s.Format != weightsFormat {
+	if s.Format != weightsFormat && s.Format != weightsFormatMap {
 		return "", 0, 0, fmt.Errorf("checkpoint: %s has format %d, not a weights-only checkpoint (want %d)", path, s.Format, weightsFormat)
 	}
 	return s.ModelName, s.NumClasses, s.Resolution, nil

@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -50,6 +51,59 @@ func TestSaveLoadWeightsRoundTrip(t *testing.T) {
 	for i := range ys.T.Data() {
 		if ys.T.Data()[i] != yd.T.Data()[i] {
 			t.Fatal("restored model produces different outputs")
+		}
+	}
+}
+
+func TestSaveWeightsDeterministic(t *testing.T) {
+	// The weights encoding must be byte-for-byte reproducible so two runs'
+	// checkpoints can be compared with cmp (CI's hybrid-smoke job does
+	// exactly that to prove a D×1 mesh matches pure data parallelism).
+	// The original map-backed format failed this: gob randomizes map order.
+	var a, b bytes.Buffer
+	if err := SaveWeights(&a, newPico(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveWeights(&b, newPico(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two saves of identical weights produced different bytes")
+	}
+}
+
+func TestLoadWeightsReadsLegacyMapFormat(t *testing.T) {
+	// Checkpoints written before the sorted format (format 1, parameters in
+	// a gob map) must keep loading.
+	src := newPico(1)
+	legacy := legacyWeightsFile{
+		Format:     weightsFormatMap,
+		ModelName:  src.Config.Name,
+		NumClasses: src.Config.NumClasses,
+		Resolution: src.Config.Resolution,
+		Params:     make(map[string]tensorBlob),
+	}
+	for _, p := range src.Params() {
+		legacy.Params[p.Name] = tensorBlob{Shape: p.Data().Shape(), Data: p.Data().Data()}
+	}
+	for _, bn := range src.BatchNorms() {
+		legacy.BNMeans = append(legacy.BNMeans, tensorBlob{Shape: bn.RunningMean.Shape(), Data: bn.RunningMean.Data()})
+		legacy.BNVars = append(legacy.BNVars, tensorBlob{Shape: bn.RunningVar.Shape(), Data: bn.RunningVar.Data()})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(legacy); err != nil {
+		t.Fatal(err)
+	}
+	dst := newPico(99)
+	if err := LoadWeights(bytes.NewReader(buf.Bytes()), dst); err != nil {
+		t.Fatalf("legacy format load: %v", err)
+	}
+	sp, dp := src.Params(), dst.Params()
+	for i := range sp {
+		for j := range sp[i].Data().Data() {
+			if sp[i].Data().Data()[j] != dp[i].Data().Data()[j] {
+				t.Fatalf("param %s differs after legacy load", sp[i].Name)
+			}
 		}
 	}
 }

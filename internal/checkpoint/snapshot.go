@@ -240,8 +240,8 @@ func WriteSnapshot(w io.Writer, s *Snapshot) error {
 	return nil
 }
 
-// ReadSnapshot decodes and validates a snapshot from r. Legacy weights-only
-// checkpoints (format 1) are detected and rejected with a pointer to
+// ReadSnapshot decodes and validates a snapshot from r. Weights-only
+// checkpoints (formats 1 and 3) are detected and rejected with a pointer to
 // LoadWeights; truncated or corrupt input fails the decode with a
 // descriptive error rather than returning partial state.
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
@@ -249,8 +249,8 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("checkpoint: decode snapshot (truncated or corrupt?): %w", err)
 	}
-	if s.Format == weightsFormat {
-		return nil, fmt.Errorf("checkpoint: file is a legacy weights-only checkpoint (format %d); load it with LoadWeights", weightsFormat)
+	if s.Format == weightsFormatMap || s.Format == weightsFormat {
+		return nil, fmt.Errorf("checkpoint: file is a weights-only checkpoint (format %d); load it with LoadWeights", s.Format)
 	}
 	if s.Format != SnapshotFormat {
 		return nil, fmt.Errorf("checkpoint: unsupported snapshot format %d (want %d)", s.Format, SnapshotFormat)

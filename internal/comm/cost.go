@@ -29,6 +29,20 @@ func RingAllReduceSeconds(bytes int, n int, lp LinkParams) float64 {
 	return 2*float64(n-1)/float64(n)*b/bw + 2*float64(n-1)*alpha
 }
 
+// RingAllGatherSeconds returns the modelled wall-clock time of a ring
+// all-gather whose gathered output is totalBytes across n nodes: each node
+// forwards (n−1)/n of the output around the ring, (n−1)/n·B/β + (n−1)·α —
+// half a ring all-reduce, which is a reduce-scatter plus this gather.
+func RingAllGatherSeconds(totalBytes int, n int, lp LinkParams) float64 {
+	if n <= 1 {
+		return 0
+	}
+	b := float64(totalBytes)
+	bw := lp.BandwidthGBs * 1e9
+	alpha := lp.LatencyUS * 1e-6
+	return float64(n-1)/float64(n)*b/bw + float64(n-1)*alpha
+}
+
 // Torus2DAllReduceSeconds models the hierarchical all-reduce TPU pods use on
 // their 2-D interconnect: a ring phase along each row (full payload),
 // followed by a ring phase along each column on the row-reduced 1/cols

@@ -53,13 +53,19 @@ func NewMBConv(rng *rand.Rand, name string, args BlockArgs, dropRate float64) *M
 
 // Forward runs the block.
 func (b *MBConv) Forward(ctx *nn.Ctx, x *autograd.Value) *autograd.Value {
+	return b.forwardConv(ctx, x, defaultConv)
+}
+
+// forwardConv runs the block with the 1×1 convolutions (expand, project)
+// routed through conv — the hook channel-sharded model parallelism uses.
+func (b *MBConv) forwardConv(ctx *nn.Ctx, x *autograd.Value, conv Conv1x1Fn) *autograd.Value {
 	h := x
 	if b.Expand != nil {
-		h = autograd.Swish(b.ExpandBN.Forward(ctx, b.Expand.Forward(ctx, h)))
+		h = autograd.Swish(b.ExpandBN.Forward(ctx, conv(ctx, b.Expand, h)))
 	}
 	h = autograd.Swish(b.DWBN.Forward(ctx, b.Depthwise.Forward(ctx, h)))
 	h = b.SE.Forward(ctx, h)
-	h = b.ProjectBN.Forward(ctx, b.Project.Forward(ctx, h))
+	h = b.ProjectBN.Forward(ctx, conv(ctx, b.Project, h))
 	if b.HasSkip {
 		h = autograd.Add(b.DropPath.Forward(ctx, h), x)
 	}
@@ -162,16 +168,46 @@ func NewByName(rng *rand.Rand, name string, numClasses int) *Model {
 	return New(rng, cfg)
 }
 
+// Conv1x1Fn computes one of the model's 1×1 convolutions (MBConv expand and
+// project, the head conv). ForwardConv routes every such conv through it,
+// letting the replica engine substitute a channel-sharded evaluation whose
+// output-channel rows are computed by different model-parallel ranks.
+type Conv1x1Fn func(ctx *nn.Ctx, l *nn.Conv2D, x *autograd.Value) *autograd.Value
+
+func defaultConv(ctx *nn.Ctx, l *nn.Conv2D, x *autograd.Value) *autograd.Value {
+	return l.Forward(ctx, x)
+}
+
 // Forward maps images [N,3,H,W] to logits [N,NumClasses].
 func (m *Model) Forward(ctx *nn.Ctx, x *autograd.Value) *autograd.Value {
+	return m.ForwardConv(ctx, x, defaultConv)
+}
+
+// ForwardConv is Forward with the 1×1 convolutions routed through conv. With
+// defaultConv it is bit-for-bit Forward; the hybrid data+model-parallel
+// engine passes a sharded implementation (see internal/replica).
+func (m *Model) ForwardConv(ctx *nn.Ctx, x *autograd.Value, conv Conv1x1Fn) *autograd.Value {
 	h := autograd.Swish(m.StemBN.Forward(ctx, m.StemConv.Forward(ctx, x)))
 	for _, b := range m.Blocks {
-		h = b.Forward(ctx, h)
+		h = b.forwardConv(ctx, h, conv)
 	}
-	h = autograd.Swish(m.HeadBN.Forward(ctx, m.HeadConv.Forward(ctx, h)))
+	h = autograd.Swish(m.HeadBN.Forward(ctx, conv(ctx, m.HeadConv, h)))
 	pooled := autograd.GlobalAvgPool(h) // [N, head]
 	pooled = m.Dropout.Forward(ctx, pooled)
 	return m.FC.Forward(ctx, pooled)
+}
+
+// ShardableConvs returns the 1×1 convolutions ForwardConv routes through its
+// hook — the channel-shardable parameter set, in Params() order.
+func (m *Model) ShardableConvs() []*nn.Conv2D {
+	var out []*nn.Conv2D
+	for _, b := range m.Blocks {
+		if b.Expand != nil {
+			out = append(out, b.Expand)
+		}
+		out = append(out, b.Project)
+	}
+	return append(out, m.HeadConv)
 }
 
 func (m *Model) collectParams() []*nn.Param {

@@ -1,0 +1,27 @@
+// Package mesh lays a world of ranks out as a 2-D device mesh of D data
+// shards × M model shards and derives the per-axis sub-communicators the
+// hybrid data+model parallelism of the paper's §5 needs. It is the
+// executable counterpart of podsim.HybridModelStep: where the simulator
+// prices a D×M mesh analytically, Split actually wires one.
+//
+// The split reuses the comm.Provider seam unchanged: a Shape{Data: D,
+// Model: M} places world rank r at coordinates (d, m) = (r/M, r%M)
+// (row-major, model axis fastest), and Split calls Provider.Connect(D)
+// once per m-column and Provider.Connect(M) once per d-row, so every rank
+// ends up holding a data-axis comm.Collective (its column, rank = d) and
+// a model-axis comm.Collective (its row, rank = m). Ring, tree, torus2d
+// and auto providers all work as axis algorithms without modification —
+// and because the engine instruments the provider before splitting,
+// per-axis collective calls flow into telemetry like any other.
+//
+// The replica engine uses the two axes asymmetrically, mirroring §5:
+// gradients of replicated parameters travel the data axis through the
+// existing bucketed overlapped all-reduce, while channel-sharded layers
+// exchange activations and gradient slices on the model axis (the
+// mp_exchange step phase). Note the composition is structurally a
+// reduce-scatter + all-gather of the full gradient across the whole mesh:
+// each m-column all-reduces only the parameter rows its shard owns (the
+// scatter), and the row-wise all-gather rebuilds the full gradient
+// everywhere — the same decomposition a ring all-reduce performs
+// internally, spelled out across two mesh axes.
+package mesh

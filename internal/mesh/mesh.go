@@ -1,0 +1,110 @@
+package mesh
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"effnetscale/internal/comm"
+)
+
+// Shape is a mesh geometry: Data replicas along the gradient-averaging axis,
+// Model shards along the parameter-partition axis. The world size is
+// Data×Model. Shape{D, 1} is pure data parallelism.
+type Shape struct {
+	Data  int
+	Model int
+}
+
+// World returns the number of ranks the shape covers.
+func (s Shape) World() int { return s.Data * s.Model }
+
+// String renders the shape as "DxM" — the form fingerprints, error messages
+// and CLI flags use.
+func (s Shape) String() string { return fmt.Sprintf("%dx%d", s.Data, s.Model) }
+
+// Validate rejects non-positive axes.
+func (s Shape) Validate() error {
+	if s.Data < 1 || s.Model < 1 {
+		return fmt.Errorf("mesh: shape %s must have both axes >= 1", s)
+	}
+	return nil
+}
+
+// ParseShape parses "DxM" (e.g. "2x2") back into a Shape.
+func ParseShape(text string) (Shape, error) {
+	a, b, ok := strings.Cut(text, "x")
+	if ok {
+		d, errD := strconv.Atoi(a)
+		m, errM := strconv.Atoi(b)
+		s := Shape{Data: d, Model: m}
+		if errD == nil && errM == nil && s.Validate() == nil {
+			return s, nil
+		}
+	}
+	return Shape{}, fmt.Errorf("mesh: cannot parse shape %q (want \"DxM\", e.g. \"2x2\")", text)
+}
+
+// Coords returns the (d, m) grid coordinates of a world rank under the
+// row-major layout (model axis fastest): rank = d*Model + m.
+func (s Shape) Coords(rank int) (d, m int) { return rank / s.Model, rank % s.Model }
+
+// Rank is the inverse of Coords.
+func (s Shape) Rank(d, m int) int { return d*s.Model + m }
+
+// Mesh holds one connected D×M device mesh: for every world rank, the
+// data-axis collective (its column of the grid, size Data, rank = d) and the
+// model-axis collective (its row, size Model, rank = m).
+type Mesh struct {
+	shape Shape
+	data  []comm.Collective // index = world rank
+	model []comm.Collective // index = world rank
+}
+
+// Split connects a D×M mesh over prov: one data-axis world per m-column and
+// one model-axis world per d-row, each wired by the unmodified provider.
+// Instrument the provider first to observe per-axis collective traffic.
+func Split(prov comm.Provider, shape Shape) (*Mesh, error) {
+	if err := shape.Validate(); err != nil {
+		return nil, err
+	}
+	if prov.IsZero() {
+		return nil, fmt.Errorf("mesh: zero comm.Provider")
+	}
+	world := shape.World()
+	m := &Mesh{
+		shape: shape,
+		data:  make([]comm.Collective, world),
+		model: make([]comm.Collective, world),
+	}
+	for col := 0; col < shape.Model; col++ {
+		colls, err := prov.Connect(shape.Data)
+		if err != nil {
+			return nil, fmt.Errorf("mesh: connect data axis (column %d): %w", col, err)
+		}
+		for d := 0; d < shape.Data; d++ {
+			m.data[shape.Rank(d, col)] = colls[d]
+		}
+	}
+	for row := 0; row < shape.Data; row++ {
+		colls, err := prov.Connect(shape.Model)
+		if err != nil {
+			return nil, fmt.Errorf("mesh: connect model axis (row %d): %w", row, err)
+		}
+		for mm := 0; mm < shape.Model; mm++ {
+			m.model[shape.Rank(row, mm)] = colls[mm]
+		}
+	}
+	return m, nil
+}
+
+// Shape returns the mesh geometry.
+func (m *Mesh) Shape() Shape { return m.shape }
+
+// DataColl returns world rank r's data-axis collective (world size
+// Shape().Data; the endpoint's rank is r's d coordinate).
+func (m *Mesh) DataColl(r int) comm.Collective { return m.data[r] }
+
+// ModelColl returns world rank r's model-axis collective (world size
+// Shape().Model; the endpoint's rank is r's m coordinate).
+func (m *Mesh) ModelColl(r int) comm.Collective { return m.model[r] }

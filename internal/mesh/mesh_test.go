@@ -1,0 +1,167 @@
+package mesh
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"effnetscale/internal/comm"
+	"effnetscale/internal/topology"
+)
+
+func TestShapeCoordsRoundTrip(t *testing.T) {
+	s := Shape{Data: 3, Model: 4}
+	for r := 0; r < s.World(); r++ {
+		d, m := s.Coords(r)
+		if d < 0 || d >= s.Data || m < 0 || m >= s.Model {
+			t.Fatalf("rank %d → coords (%d,%d) out of grid", r, d, m)
+		}
+		if back := s.Rank(d, m); back != r {
+			t.Fatalf("Rank(Coords(%d)) = %d", r, back)
+		}
+	}
+}
+
+func TestParseShape(t *testing.T) {
+	s, err := ParseShape("2x2")
+	if err != nil || s != (Shape{Data: 2, Model: 2}) {
+		t.Fatalf("ParseShape(2x2) = %v, %v", s, err)
+	}
+	for _, bad := range []string{"", "4", "0x2", "2x0", "-1x2", "axb", "2x2x2"} {
+		if _, err := ParseShape(bad); err == nil {
+			t.Fatalf("ParseShape(%q) did not fail", bad)
+		}
+	}
+}
+
+func TestShapeValidate(t *testing.T) {
+	if err := (Shape{Data: 2, Model: 2}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Shape{Data: 0, Model: 2}).Validate(); err == nil {
+		t.Fatal("Data=0 accepted")
+	}
+	if err := (Shape{Data: 2, Model: -1}).Validate(); err == nil {
+		t.Fatal("Model=-1 accepted")
+	}
+}
+
+// TestSplitAxisSums checks the two axes really partition the grid: a
+// data-axis all-reduce sums over each m-column, a model-axis all-reduce over
+// each d-row, and the composition (data then model on the scalar) equals the
+// global sum — every rank contributes exactly once per column and row.
+func TestSplitAxisSums(t *testing.T) {
+	shape := Shape{Data: 3, Model: 2}
+	msh, err := Split(comm.RingProvider(), shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := shape.World()
+	dataSum := make([]float32, world)
+	modelSum := make([]float32, world)
+	bothSum := make([]float32, world)
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			v := float32(int(1) << r) // distinct power of two per rank: sums identify members
+			a := []float32{v}
+			msh.DataColl(r).AllReduce(a)
+			dataSum[r] = a[0]
+			b := []float32{v}
+			msh.ModelColl(r).AllReduce(b)
+			modelSum[r] = b[0]
+			c := []float32{v}
+			msh.DataColl(r).AllReduce(c)
+			msh.ModelColl(r).AllReduce(c)
+			bothSum[r] = c[0]
+		}(r)
+	}
+	wg.Wait()
+	var global float32
+	for r := 0; r < world; r++ {
+		global += float32(int(1) << r)
+	}
+	for r := 0; r < world; r++ {
+		d, m := shape.Coords(r)
+		var wantData, wantModel float32
+		for dd := 0; dd < shape.Data; dd++ {
+			wantData += float32(int(1) << shape.Rank(dd, m))
+		}
+		for mm := 0; mm < shape.Model; mm++ {
+			wantModel += float32(int(1) << shape.Rank(d, mm))
+		}
+		if dataSum[r] != wantData {
+			t.Errorf("rank %d data-axis sum = %g, want %g", r, dataSum[r], wantData)
+		}
+		if modelSum[r] != wantModel {
+			t.Errorf("rank %d model-axis sum = %g, want %g", r, modelSum[r], wantModel)
+		}
+		if bothSum[r] != global {
+			t.Errorf("rank %d data∘model sum = %g, want global %g", r, bothSum[r], global)
+		}
+	}
+}
+
+// TestSplitAxisRanksAndSizes pins each endpoint's rank/world to the grid
+// coordinates.
+func TestSplitAxisRanksAndSizes(t *testing.T) {
+	shape := Shape{Data: 2, Model: 3}
+	msh, err := Split(comm.TreeProvider(), shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < shape.World(); r++ {
+		d, m := shape.Coords(r)
+		if got := msh.DataColl(r); got.Rank() != d || got.WorldSize() != shape.Data {
+			t.Errorf("rank %d data axis = (%d of %d), want (%d of %d)",
+				r, got.Rank(), got.WorldSize(), d, shape.Data)
+		}
+		if got := msh.ModelColl(r); got.Rank() != m || got.WorldSize() != shape.Model {
+			t.Errorf("rank %d model axis = (%d of %d), want (%d of %d)",
+				r, got.Rank(), got.WorldSize(), m, shape.Model)
+		}
+	}
+	if msh.Shape() != shape {
+		t.Fatalf("Shape() = %v", msh.Shape())
+	}
+}
+
+// TestSplitModelAllGather exercises the model-axis all-gather the sharded
+// engine uses for activations and gradient slices.
+func TestSplitModelAllGather(t *testing.T) {
+	shape := Shape{Data: 2, Model: 2}
+	msh, err := Split(comm.AutoProvider(topology.Slice{Rows: 1, Cols: 2}), shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	got := make([][]float32, shape.World())
+	for r := 0; r < shape.World(); r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			_, m := shape.Coords(r)
+			local := []float32{float32(10 * (m + 1))}
+			out := make([]float32, shape.Model)
+			msh.ModelColl(r).AllGather(local, out)
+			got[r] = out
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < shape.World(); r++ {
+		if got[r][0] != 10 || got[r][1] != 20 {
+			t.Errorf("rank %d all-gather = %v, want [10 20]", r, got[r])
+		}
+	}
+}
+
+func TestSplitRejectsBadInput(t *testing.T) {
+	if _, err := Split(comm.Provider{}, Shape{Data: 2, Model: 2}); err == nil || !strings.Contains(err.Error(), "zero") {
+		t.Fatalf("zero provider: err = %v", err)
+	}
+	if _, err := Split(comm.RingProvider(), Shape{Data: 0, Model: 2}); err == nil {
+		t.Fatal("bad shape accepted")
+	}
+}

@@ -65,10 +65,7 @@ func HybridModelStep(model string, cores, globalBatch, modelShards int) (HybridS
 	// channels. Channel splitting fragments the matrix units, modelled as a
 	// mild efficiency loss per halving.
 	padded := xla.PadBatch(perData)
-	shardEff := 1.0
-	for m := modelShards; m > 1; m >>= 1 {
-		shardEff *= 0.92
-	}
+	shardEff := shardEfficiency(modelShards)
 	h := HybridStep{
 		StepBreakdown: StepBreakdown{
 			Model:        model,
@@ -94,6 +91,66 @@ func HybridModelStep(model string, cores, globalBatch, modelShards int) (HybridS
 	if modelShards > 1 {
 		actBytes := int(float64(padded) * perf.Stats.ActElemsPerImg * 2 / float64(modelShards) * 2)
 		h.ActExchangeSeconds = comm.RingAllReduceSeconds(actBytes, modelShards, comm.TPUv3Links)
+	}
+	return h, nil
+}
+
+// shardEfficiency is the matrix-unit efficiency retained after splitting
+// every layer's channels M ways: a mild loss per halving.
+func shardEfficiency(modelShards int) float64 {
+	eff := 1.0
+	for m := modelShards; m > 1; m >>= 1 {
+		eff *= 0.92
+	}
+	return eff
+}
+
+// MiniCollective is one collective call of a measured mini-scale step — the
+// payload trace MiniHybridStep prices. AllGather marks the model-axis
+// activation/gradient-slice gathers; everything else is priced as a ring
+// all-reduce.
+type MiniCollective struct {
+	AllGather bool
+	Bytes     int
+	World     int
+}
+
+// MiniHybridStep prices one mini-scale D×M training step the way
+// HybridModelStep prices a pod step, calibrated to a measured run instead of
+// TPU datasheet constants: compute is the per-data-shard batch times a
+// measured per-image cost, scaled by 1/M with HybridModelStep's
+// channel-sharding efficiency loss, and communication prices the step's
+// actual collective payload trace with the α-β ring formulas under the
+// fitted link constants (the PR 5 measured-vs-modeled fit). The result is
+// the §5 analytic structure predicting a step the executable mesh engine
+// actually runs — podbench -validate reports the per-cell error.
+func MiniHybridStep(model string, d, m, globalBatch int, perImgSeconds float64, calls []MiniCollective, links comm.LinkParams) (HybridStep, error) {
+	if d < 1 || m < 1 {
+		return HybridStep{}, fmt.Errorf("podsim: mesh %dx%d must have both axes >= 1", d, m)
+	}
+	if globalBatch%d != 0 {
+		return HybridStep{}, fmt.Errorf("podsim: global batch %d does not split across %d data shards", globalBatch, d)
+	}
+	h := HybridStep{
+		StepBreakdown: StepBreakdown{
+			Model:        model,
+			Cores:        d * m,
+			GlobalBatch:  globalBatch,
+			PerCoreBatch: globalBatch / d,
+		},
+		ModelShards: m,
+		DataShards:  d,
+	}
+	h.ComputeSeconds = float64(globalBatch/d) * perImgSeconds / (float64(m) * shardEfficiency(m))
+	for _, c := range calls {
+		if c.World < 2 {
+			continue
+		}
+		if c.AllGather {
+			h.ActExchangeSeconds += comm.RingAllGatherSeconds(c.Bytes, c.World, links)
+		} else {
+			h.AllReduceSeconds += comm.RingAllReduceSeconds(c.Bytes, c.World, links)
+		}
 	}
 	return h, nil
 }

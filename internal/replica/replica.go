@@ -10,6 +10,7 @@ import (
 	"effnetscale/internal/comm"
 	"effnetscale/internal/data"
 	"effnetscale/internal/efficientnet"
+	"effnetscale/internal/mesh"
 	"effnetscale/internal/nn"
 	"effnetscale/internal/optim"
 	"effnetscale/internal/rng"
@@ -77,6 +78,15 @@ type Config struct {
 	// EMADecay, when > 0, maintains an exponential moving average of the
 	// weights (the reference EfficientNet setup evaluates the EMA weights).
 	EMADecay float64
+	// Mesh lays the World ranks out as a Data×Model device mesh (§5 hybrid
+	// parallelism): gradients average over the data axis while the 1×1
+	// convolutions' channels are sharded across the model axis, with
+	// activation all-gathers and gradient-slice exchanges on the model-axis
+	// collectives (see internal/mesh). Data×Model must equal World, and the
+	// global batch becomes Data × PerReplicaBatch × GradAccumSteps (the M
+	// ranks of a model group consume the same data shard). The zero value
+	// means World×1 — pure data parallelism, bit-for-bit today's engine.
+	Mesh mesh.Shape
 	// Collective selects the all-reduce algorithm for gradients, metrics and
 	// BN statistics: comm.RingProvider(), comm.TreeProvider(),
 	// comm.Torus2DProvider(slice) or comm.AutoProvider(slice). The zero
@@ -151,7 +161,14 @@ type Replica struct {
 	Rank  int
 	Model *efficientnet.Model
 
-	coll    comm.Collective // gradient/metrics collective over the world
+	// dataRank is this replica's coordinate on the mesh's data axis — the
+	// shard index its batches come from. Equal to Rank when Model = 1.
+	dataRank int
+	// plan is the model-parallel execution plan (nil on the pure
+	// data-parallel path, i.e. whenever the mesh's model axis is 1).
+	plan *shardPlan
+
+	coll    comm.Collective // gradient/metrics collective over the data axis
 	opt     optim.Optimizer
 	ema     *optim.WeightEMA // nil when EMA disabled
 	train   *data.Shard
@@ -226,8 +243,17 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.GradAccumSteps < 1 {
 		cfg.GradAccumSteps = 1
 	}
-	if cfg.World%cfg.BNGroupSize != 0 {
-		return nil, fmt.Errorf("replica: BN group size %d does not divide world %d", cfg.BNGroupSize, cfg.World)
+	if cfg.Mesh == (mesh.Shape{}) {
+		cfg.Mesh = mesh.Shape{Data: cfg.World, Model: 1}
+	}
+	if err := cfg.Mesh.Validate(); err != nil {
+		return nil, fmt.Errorf("replica: %v", err)
+	}
+	if cfg.Mesh.World() != cfg.World {
+		return nil, fmt.Errorf("replica: mesh %s covers %d ranks, world is %d", cfg.Mesh, cfg.Mesh.World(), cfg.World)
+	}
+	if cfg.Mesh.Data%cfg.BNGroupSize != 0 {
+		return nil, fmt.Errorf("replica: BN group size %d does not divide the mesh's data axis %d", cfg.BNGroupSize, cfg.Mesh.Data)
 	}
 	if cfg.Dataset == nil {
 		return nil, fmt.Errorf("replica: dataset is required")
@@ -252,11 +278,12 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.GradBucketBytes < 4 {
 		return nil, fmt.Errorf("replica: grad bucket size %d bytes must hold at least one fp32 value", cfg.GradBucketBytes)
 	}
-	if cfg.Dataset.Config().TrainSize < cfg.World {
+	if cfg.Dataset.Config().TrainSize < cfg.Mesh.Data {
 		// Some ranks would hold empty train shards and the lockstep step
 		// loop could never feed them — the divide-by-zero this used to hit
-		// deep inside BatchIndices, surfaced as a configuration error.
-		return nil, fmt.Errorf("replica: train split (%d samples) smaller than world %d: every replica needs at least one sample", cfg.Dataset.Config().TrainSize, cfg.World)
+		// deep inside BatchIndices, surfaced as a configuration error. Data
+		// shards by the mesh's data axis (model-group members share a shard).
+		return nil, fmt.Errorf("replica: train split (%d samples) smaller than data axis %d: every data shard needs at least one sample", cfg.Dataset.Config().TrainSize, cfg.Mesh.Data)
 	}
 	if cfg.PrefetchDepth == 0 {
 		cfg.PrefetchDepth = DefaultPrefetchDepth
@@ -280,33 +307,41 @@ func New(cfg Config) (*Engine, error) {
 		e.samples = make([]telemetry.StepSample, cfg.World)
 	}
 
-	// The world-wide collective carries gradients and metrics.
-	colls, err := prov.Connect(cfg.World)
+	// The device mesh carries everything: per-rank data-axis collectives for
+	// gradients, BN statistics and metrics, and model-axis collectives for
+	// the channel-sharded exchanges. At Model=1 the single data-axis world is
+	// exactly the world-wide collective the engine always had.
+	msh, err := mesh.Split(prov, cfg.Mesh)
 	if err != nil {
 		return nil, fmt.Errorf("replica: %v", err)
 	}
 
 	// BN groups: contiguous below 16, 2-D tiled above (§3.4). Each group is
-	// its own collective world under the same provider.
+	// its own collective world under the same provider. Groups tile the data
+	// axis — the M ranks of a model group compute identical activations, so
+	// including them would only double-count the same statistics — and each
+	// model column gets its own copy of the group worlds.
 	var groups [][]int
 	if cfg.BNGroupSize > 1 {
 		slice := cfg.Slice
 		if slice.Rows == 0 {
-			slice = topology.Slice{Rows: 1, Cols: (cfg.World + 1) / 2}
+			slice = topology.Slice{Rows: 1, Cols: (cfg.Mesh.Data + 1) / 2}
 		}
-		groups, err = topology.BNGroups(cfg.World, cfg.BNGroupSize, slice)
+		groups, err = topology.BNGroups(cfg.Mesh.Data, cfg.BNGroupSize, slice)
 		if err != nil {
 			return nil, fmt.Errorf("replica: %v", err)
 		}
 	}
 	bnCollOf := make(map[int]comm.Collective, cfg.World)
-	for _, g := range groups {
-		gcolls, err := prov.Connect(len(g))
-		if err != nil {
-			return nil, fmt.Errorf("replica: BN group: %v", err)
-		}
-		for pos, rank := range g {
-			bnCollOf[rank] = gcolls[pos]
+	for m := 0; m < cfg.Mesh.Model; m++ {
+		for _, g := range groups {
+			gcolls, err := prov.Connect(len(g))
+			if err != nil {
+				return nil, fmt.Errorf("replica: BN group: %v", err)
+			}
+			for pos, d := range g {
+				bnCollOf[cfg.Mesh.Rank(d, m)] = gcolls[pos]
+			}
 		}
 	}
 
@@ -315,10 +350,13 @@ func New(cfg Config) (*Engine, error) {
 	e.gradLen = ref.NumParams()
 	e.buckets = gradBuckets(e.gradLen, cfg.GradBucketBytes)
 
-	globalBatch := cfg.World * cfg.PerReplicaBatch * cfg.GradAccumSteps
+	// The global batch follows the data axis: model-group members consume
+	// the same shard, so only Data distinct batches exist per step.
+	globalBatch := cfg.Mesh.Data * cfg.PerReplicaBatch * cfg.GradAccumSteps
 	e.stepsPerEpoch = (cfg.Dataset.Config().TrainSize + globalBatch - 1) / globalBatch
 
 	for r := 0; r < cfg.World; r++ {
+		d, mIdx := cfg.Mesh.Coords(r)
 		m := efficientnet.New(rand.New(rand.NewSource(cfg.Seed)), modelCfg)
 		m.CopyWeightsFrom(ref)
 		opt, ok := optim.ByName(cfg.OptimizerName, cfg.WeightDecay)
@@ -328,11 +366,12 @@ func New(cfg Config) (*Engine, error) {
 		}
 		rep := &Replica{
 			Rank:     r,
+			dataRank: d,
 			Model:    m,
-			coll:     colls[r],
+			coll:     msh.DataColl(r),
 			opt:      opt,
-			train:    data.NewShard(cfg.Dataset, 0, r, cfg.World),
-			val:      data.NewShard(cfg.Dataset, 1, r, cfg.World),
+			train:    data.NewShard(cfg.Dataset, 0, d, cfg.Mesh.Data),
+			val:      data.NewShard(cfg.Dataset, 1, d, cfg.Mesh.Data),
 			ctx:      &nn.Ctx{Training: true, Precision: cfg.Precision},
 			gradBuf:  make([]float32, e.gradLen),
 			buckets:  e.buckets,
@@ -342,10 +381,19 @@ func New(cfg Config) (*Engine, error) {
 			prefetch: cfg.PrefetchDepth,
 			res:      modelCfg.Resolution,
 		}
+		if cfg.Mesh.Model > 1 {
+			// The plan shards the 1×1 convs' channels across the model axis;
+			// replicas of a model group must draw identical RNG streams (seeds
+			// keyed by d below) so their replicated activations stay bitwise
+			// equal and only the sharded exchanges need communication.
+			rep.plan = buildShardPlan(m, mIdx, cfg.Mesh.Model, msh.ModelColl(r))
+		}
 		// The RNGs draw through counting streams so a snapshot can record —
 		// and a resume can replay — their exact positions. The values are
-		// bit-identical to the plain rand.NewSource construction.
-		rep.installRNGs(ctxSeed(cfg.Seed, r), 0, augSeed(cfg.Seed, r), 0)
+		// bit-identical to the plain rand.NewSource construction. Seeds key
+		// off the data coordinate: the M ranks of a model group see the same
+		// batches and the same dropout/drop-path masks.
+		rep.installRNGs(ctxSeed(cfg.Seed, d), 0, augSeed(cfg.Seed, d), 0)
 		// With prefetch > 0, the pipeline will own the training shard: it
 		// renders micro-batches ahead of the compute loop, with
 		// augmentation drawn from the same per-replica seed the inline
@@ -412,7 +460,7 @@ func (e *Engine) startPipeline(rep *Replica, startEpoch, startStep int, augDraws
 		StepsPerEpoch: e.stepsPerEpoch * e.cfg.GradAccumSteps,
 		Depth:         rep.prefetch,
 		Augment:       !e.cfg.NoAugment,
-		AugmentSeed:   augSeed(e.cfg.Seed, rep.Rank),
+		AugmentSeed:   augSeed(e.cfg.Seed, rep.dataRank),
 		StartEpoch:    startEpoch,
 		StartStep:     startStep,
 		AugDraws:      augDraws,
@@ -461,13 +509,17 @@ func (e *Engine) Close() {
 func (e *Engine) Prefetching() int { return e.cfg.PrefetchDepth }
 
 // GlobalBatch returns the effective global batch:
-// World × PerReplicaBatch × GradAccumSteps.
+// mesh data axis × PerReplicaBatch × GradAccumSteps (the model axis shares
+// data shards, so it does not multiply the batch).
 func (e *Engine) GlobalBatch() int {
-	return e.cfg.World * e.cfg.PerReplicaBatch * e.cfg.GradAccumSteps
+	return e.cfg.Mesh.Data * e.cfg.PerReplicaBatch * e.cfg.GradAccumSteps
 }
 
 // World returns the number of replicas.
 func (e *Engine) World() int { return e.cfg.World }
+
+// Mesh returns the engine's device-mesh shape (World×1 when unset).
+func (e *Engine) Mesh() mesh.Shape { return e.cfg.Mesh }
 
 // BatchSize returns the replica's local batch size.
 func (r *Replica) BatchSize() int { return r.batch.Dim(0) }
@@ -514,7 +566,7 @@ func (e *Engine) Step() StepResult {
 				sample = &e.samples[rep.Rank]
 				sample.Reset()
 			}
-			results[rep.Rank] = rep.trainStep(epoch, step, lr, e.cfg.LabelSmoothing, e.cfg.World, !e.cfg.NoAugment, sample)
+			results[rep.Rank] = rep.trainStep(epoch, step, lr, e.cfg.LabelSmoothing, e.cfg.Mesh.Data, !e.cfg.NoAugment, sample)
 		}(rep)
 	}
 	wg.Wait()
@@ -543,12 +595,19 @@ func (e *Engine) Step() StepResult {
 	return out
 }
 
-// trainStep is one replica's share of a global step. sample, when non-nil,
-// receives the replica's phase timings (every timing call is nil-safe and
-// free when telemetry is off).
-func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, world int, augment bool, sample *telemetry.StepSample) StepResult {
+// trainStep is one replica's share of a global step. dataWorld is the mesh's
+// data-axis size — the divisor of the gradient average (equal to the world
+// size on a pure data-parallel run). sample, when non-nil, receives the
+// replica's phase timings (every timing call is nil-safe and free when
+// telemetry is off).
+func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, dataWorld int, augment bool, sample *telemetry.StepSample) StepResult {
 	for _, p := range r.Model.Params() {
 		p.Value.ZeroGrad()
+	}
+	if r.plan != nil {
+		// The plan's exchange ops time themselves into PhaseMPExchange; the
+		// sample is step-scoped, so rebind it each step.
+		r.plan.sample = sample
 	}
 	var starved0 int64
 	if sample != nil && r.pipe != nil {
@@ -588,7 +647,12 @@ func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, worl
 		sample.Add(telemetry.PhaseDataWait, t0)
 		t0 = sample.Now()
 		x := autograd.Constant(imgs)
-		logits := r.Model.Forward(r.ctx, x)
+		var logits *autograd.Value
+		if r.plan != nil {
+			logits = r.plan.forward(r.ctx, r.Model, x)
+		} else {
+			logits = r.Model.Forward(r.ctx, x)
+		}
 		loss := autograd.SoftmaxCrossEntropy(logits, labels, smoothing)
 		sample.Add(telemetry.PhaseForward, t0)
 		t0 = sample.Now()
@@ -664,8 +728,16 @@ func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, worl
 	t0 := sample.Now()
 	<-streamDone
 	sample.Add(telemetry.PhaseReduceTail, t0)
+	if r.plan != nil {
+		// The data axis reduced only the weight-gradient rows each model
+		// rank owns (zeros elsewhere); the model axis now all-gathers the
+		// slices so every rank holds the full gradient — and the optimizer
+		// below applies the identical update everywhere, keeping the weights
+		// bitwise replicated across the whole mesh.
+		r.plan.exchangeGrads(r.gradBuf, sample)
+	}
 	t0 = sample.Now()
-	inv := float32(1) / float32(world*r.accum)
+	inv := float32(1) / float32(dataWorld*r.accum)
 	off = 0
 	for _, p := range r.Model.Params() {
 		n := p.Data().Len()

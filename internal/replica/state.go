@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"effnetscale/internal/checkpoint"
+	"effnetscale/internal/mesh"
 )
 
 // This file composes the full training-state snapshot: the model weights and
@@ -56,7 +57,7 @@ func (e *Engine) StateComponents() []string {
 func (e *Engine) ConfigFingerprint() string {
 	c := e.cfg
 	d := c.Dataset.Config()
-	return fmt.Sprintf(
+	fp := fmt.Sprintf(
 		"model=%s world=%d batch=%d accum=%d opt=%s wd=%g bngroup=%d slice=%dx%d conv_bf16=%t smooth=%g seed=%d dropout=%g dropconnect=%g augment=%t bnmomentum=%g ema=%g collective=%s bucket=%d data[classes=%d train=%d val=%d res=%d noise=%g seed=%d]",
 		c.Model, c.World, c.PerReplicaBatch, c.GradAccumSteps, c.OptimizerName, c.WeightDecay,
 		c.BNGroupSize, c.Slice.Rows, c.Slice.Cols, c.Precision.ConvBF16, c.LabelSmoothing, c.Seed,
@@ -64,6 +65,13 @@ func (e *Engine) ConfigFingerprint() string {
 		e.replicas[0].coll.Algorithm(), c.GradBucketBytes,
 		d.NumClasses, d.TrainSize, d.ValSize, d.Resolution, d.NoiseStd, d.Seed,
 	)
+	// A hybrid mesh changes the data shard layout and reduction order. Pure
+	// data parallelism (Model = 1) omits the suffix so snapshots taken before
+	// the mesh existed keep restoring.
+	if c.Mesh.Model > 1 {
+		fp += " mesh=" + c.Mesh.String()
+	}
+	return fp
 }
 
 // CaptureState snapshots the engine's complete training state. Call it at a
@@ -76,6 +84,7 @@ func (e *Engine) CaptureState() (*checkpoint.Snapshot, error) {
 	eng := checkpoint.Component{}
 	eng.PutI64("step", int64(e.stepCount))
 	eng.PutStr("config", e.ConfigFingerprint())
+	eng.PutStr("mesh", e.cfg.Mesh.String())
 	if err := snap.Add(engineComponent, eng); err != nil {
 		return nil, err
 	}
@@ -130,6 +139,23 @@ func (e *Engine) RestoreState(snap *checkpoint.Snapshot) error {
 	savedCfg, err := eng.Str("config")
 	if err != nil {
 		return err
+	}
+	// Check the mesh shape before the generic fingerprint diff when a hybrid
+	// layout is involved on either side: re-gridding the same ranks (say a
+	// 2x2 run resumed as 4x1) deserves a message naming the two shapes, not a
+	// wall of fingerprint text. Pure data-parallel world changes (4x1 vs 2x1)
+	// keep the configuration error, and snapshots written before the mesh
+	// existed carry no "mesh" key — those restore only into pure
+	// data-parallel engines, which the fingerprint already enforces.
+	if savedMesh, merr := eng.Str("mesh"); merr == nil {
+		if cur := e.cfg.Mesh.String(); savedMesh != cur {
+			saved, perr := mesh.ParseShape(savedMesh)
+			if perr == nil && (saved.Model > 1 || e.cfg.Mesh.Model > 1) {
+				return fmt.Errorf(
+					"replica: snapshot was taken on a %s mesh but the engine runs a %s mesh; training state is only portable across identical mesh shapes",
+					savedMesh, cur)
+			}
+		}
 	}
 	if cur := e.ConfigFingerprint(); savedCfg != cur {
 		return fmt.Errorf("replica: snapshot configuration does not match engine:\n  snapshot: %s\n  engine:   %s", savedCfg, cur)
@@ -200,7 +226,9 @@ func (e *Engine) RestoreState(snap *checkpoint.Snapshot) error {
 		if augDraws < 0 || ctxDraws < 0 {
 			return fmt.Errorf("replica: rank %d: negative RNG cursor", r)
 		}
-		rep.installRNGs(ctxSeed(e.cfg.Seed, r), uint64(ctxDraws), augSeed(e.cfg.Seed, r), uint64(augDraws))
+		// RNG streams are seeded by the data-axis coordinate (model-group
+		// members share a stream), matching the seeding New performs.
+		rep.installRNGs(ctxSeed(e.cfg.Seed, rep.dataRank), uint64(ctxDraws), augSeed(e.cfg.Seed, rep.dataRank), uint64(augDraws))
 		// Any running pipeline holds the pre-restore cursor; stop it and
 		// let the next Step lazily start a fresh one at the restored
 		// micro-batch position (ensurePipelines).

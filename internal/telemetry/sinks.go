@@ -125,6 +125,7 @@ type jsonlPhases struct {
 	Backward   float64 `json:"backward"`
 	Reduce     float64 `json:"reduce"`
 	ReduceTail float64 `json:"reduce_tail"`
+	MPExchange float64 `json:"mp_exchange"`
 	Optimizer  float64 `json:"optimizer"`
 }
 
@@ -135,6 +136,7 @@ func phasesMS(p [NumPhases]time.Duration) jsonlPhases {
 		Backward:   ms(p[PhaseBackward]),
 		Reduce:     ms(p[PhaseReduce]),
 		ReduceTail: ms(p[PhaseReduceTail]),
+		MPExchange: ms(p[PhaseMPExchange]),
 		Optimizer:  ms(p[PhaseOptimizer]),
 	}
 }
@@ -290,10 +292,15 @@ func NewConsole(emit func(string)) Sink {
 				}
 				return 100 * float64(r.Phases[p]) / float64(r.Wall)
 			}
-			line := fmt.Sprintf("epoch %3d  %.1f img/s  step %.1fms  data %.0f%% fwd %.0f%% bwd %.0f%% opt %.0f%%  overlap %2.0f%%",
+			line := fmt.Sprintf("epoch %3d  %.1f img/s  step %.1fms  data %.0f%% fwd %.0f%% bwd %.0f%% opt %.0f%%",
 				r.Epoch, r.ImgsPerSec, stepMS,
-				pct(PhaseDataWait), pct(PhaseForward), pct(PhaseBackward), pct(PhaseOptimizer),
-				100*r.OverlapEfficiency)
+				pct(PhaseDataWait), pct(PhaseForward), pct(PhaseBackward), pct(PhaseOptimizer))
+			// Model-axis exchange only exists on hybrid meshes; keep the pure
+			// data-parallel line unchanged.
+			if r.Phases[PhaseMPExchange] > 0 {
+				line += fmt.Sprintf(" mp %.0f%%", pct(PhaseMPExchange))
+			}
+			line += fmt.Sprintf("  overlap %2.0f%%", 100*r.OverlapEfficiency)
 			if r.ETA > 0 {
 				line += "  eta " + r.ETA.Round(time.Second).String()
 			}

@@ -29,6 +29,10 @@ const (
 	PhaseReduce
 	// PhaseReduceTail is reduce time not hidden behind the flatten.
 	PhaseReduceTail
+	// PhaseMPExchange is model-axis exchange time on a hybrid mesh: the
+	// all-gather that rebuilds full gradients from the per-shard slices after
+	// the data-axis reduction. Zero on pure data-parallel runs (M=1).
+	PhaseMPExchange
 	// PhaseOptimizer is gradient averaging, the optimizer update and EMA.
 	PhaseOptimizer
 	// NumPhases bounds the phase index space.
@@ -36,7 +40,7 @@ const (
 )
 
 var phaseNames = [NumPhases]string{
-	"data_wait", "forward", "backward", "reduce", "reduce_tail", "optimizer",
+	"data_wait", "forward", "backward", "reduce", "reduce_tail", "mp_exchange", "optimizer",
 }
 
 // String returns the phase's snake_case name (column/field name in sinks).

@@ -68,6 +68,7 @@ func TestNoSinkFastPathAllocs(t *testing.T) {
 		t0 := sample.Now()
 		sample.Add(PhaseForward, t0)
 		sample.Add(PhaseReduce, t0)
+		sample.Add(PhaseMPExchange, t0)
 		sample.AddStarved(1)
 		rec.Collective(comm.Event{Op: comm.OpAllReduce, Bytes: 4096, Elapsed: time.Microsecond})
 		phases, starved := MergeSamples([]StepSample{*sample})
@@ -338,7 +339,7 @@ func TestCSVSink(t *testing.T) {
 
 // TestPhaseString pins the sink field names.
 func TestPhaseString(t *testing.T) {
-	want := []string{"data_wait", "forward", "backward", "reduce", "reduce_tail", "optimizer"}
+	want := []string{"data_wait", "forward", "backward", "reduce", "reduce_tail", "mp_exchange", "optimizer"}
 	for p := Phase(0); p < NumPhases; p++ {
 		if p.String() != want[p] {
 			t.Fatalf("Phase(%d) = %q, want %q", p, p.String(), want[p])

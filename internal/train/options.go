@@ -6,6 +6,7 @@ import (
 	"effnetscale/internal/bf16"
 	"effnetscale/internal/comm"
 	"effnetscale/internal/data"
+	"effnetscale/internal/mesh"
 	"effnetscale/internal/replica"
 	"effnetscale/internal/schedule"
 	"effnetscale/internal/telemetry"
@@ -57,6 +58,7 @@ type config struct {
 	// epoch count are known — what lets presets express the §3.2 linear
 	// scaling rule without knowing the final world size.
 	scheduleFn     func(globalBatch int, epochs int) schedule.Schedule
+	mesh           mesh.Shape
 	bnGroup        int
 	slice          topology.Slice
 	precision      bf16.Policy
@@ -162,6 +164,24 @@ func WithWorld(n int) Option {
 			return fmt.Errorf("train: world %d must be >= 1", n)
 		}
 		c.world = n
+		return nil
+	}
+}
+
+// WithMesh lays the ranks out as a d×m device mesh: d data-parallel groups
+// of m model-parallel shards each (§5 hybrid parallelism). The world size
+// becomes d×m; the global batch is d × per-replica batch × grad-accum — the
+// model axis shards parameters, it does not multiply data. WithMesh(d, 1) is
+// pure data parallelism, bit-for-bit identical to WithWorld(d). A later
+// WithWorld must agree with d×m (New rejects the combination otherwise).
+func WithMesh(d, m int) Option {
+	return func(c *config) error {
+		s := mesh.Shape{Data: d, Model: m}
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("train: %w", err)
+		}
+		c.mesh = s
+		c.world = s.World()
 		return nil
 	}
 }

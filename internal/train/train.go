@@ -5,6 +5,7 @@ import (
 	"os"
 
 	"effnetscale/internal/checkpoint"
+	"effnetscale/internal/mesh"
 	"effnetscale/internal/replica"
 	"effnetscale/internal/schedule"
 	"effnetscale/internal/telemetry"
@@ -85,17 +86,27 @@ func New(opts ...Option) (*Session, error) {
 	if c.dataset == nil {
 		return nil, fmt.Errorf("train: a dataset is required (use WithDataset, WithData, or a preset)")
 	}
+	msh := c.mesh
+	if msh == (mesh.Shape{}) {
+		msh = mesh.Shape{Data: c.world, Model: 1}
+	}
+	if msh.World() != c.world {
+		return nil, fmt.Errorf("train: mesh %s covers %d ranks but the world is %d (WithWorld and WithMesh disagree)", msh, msh.World(), c.world)
+	}
+	// BN groups tile the data axis: the m model shards of a group compute
+	// identical activations, so only data-parallel replicas contribute
+	// distinct batch statistics.
 	bnGroup := c.bnGroup
 	if bnGroup == bnGroupWorld {
-		bnGroup = c.world
+		bnGroup = msh.Data
 	}
-	if c.world%bnGroup != 0 {
-		return nil, fmt.Errorf("train: BN group size %d does not divide world %d", bnGroup, c.world)
+	if msh.Data%bnGroup != 0 {
+		return nil, fmt.Errorf("train: BN group size %d does not divide the mesh's data axis %d", bnGroup, msh.Data)
 	}
 	if c.snapshotEvery > 0 && c.snapshotDir == "" {
 		return nil, fmt.Errorf("train: WithSnapshotEvery needs WithSnapshotDir")
 	}
-	globalBatch := c.world * c.perReplicaBatch * c.gradAccum
+	globalBatch := msh.Data * c.perReplicaBatch * c.gradAccum
 	sched := c.scheduleFn(globalBatch, c.epochs)
 
 	var rec *telemetry.Recorder
@@ -105,6 +116,7 @@ func New(opts ...Option) (*Session, error) {
 
 	eng, err := replica.New(replica.Config{
 		World:               c.world,
+		Mesh:                msh,
 		PerReplicaBatch:     c.perReplicaBatch,
 		Model:               c.model,
 		Dataset:             c.dataset,
