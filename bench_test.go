@@ -637,16 +637,21 @@ func BenchmarkOverlapAblation(b *testing.B) {
 	for _, model := range []string{"b2", "b5"} {
 		model := model
 		b.Run(model+"_1024cores", func(b *testing.B) {
-			var o podsim.OverlapResult
+			var o, g podsim.OverlapResult
 			for i := 0; i < b.N; i++ {
 				var err error
 				o, err = podsim.ModelStepOverlapped(model, 1024, 32768, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
+				g, err = podsim.ModelStepGradReady(model, 1024, 32768, 0, 4<<20)
+				if err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportMetric(o.AllReducePct(), "serialized-allreduce-pct")
 			b.ReportMetric(o.SpeedupPct(), "overlap-speedup-pct")
+			b.ReportMetric(100*g.OverlapFraction, "gradready-overlap-pct")
 		})
 	}
 }
@@ -676,6 +681,7 @@ func BenchmarkStep(b *testing.B) {
 		c := c
 		b.Run(c.name, func(b *testing.B) {
 			ds := data.New(data.MiniConfig(4, 512, 16))
+			rec := c.rec()
 			eng, err := replica.New(replica.Config{
 				World:           4,
 				PerReplicaBatch: 4,
@@ -683,10 +689,15 @@ func BenchmarkStep(b *testing.B) {
 				Dataset:         ds,
 				OptimizerName:   "sgd",
 				Schedule:        schedule.Constant(0.05),
-				Precision:       bf16.FP32Policy,
-				Seed:            1,
-				NoAugment:       true,
-				Telemetry:       c.rec(),
+				// Distributed BN keeps the replica goroutines lockstepped
+				// through backward, so the reported overlap metrics measure
+				// the grad-ready dispatch rather than scheduler skew on
+				// hosts with fewer cores than replicas.
+				BNGroupSize: 4,
+				Precision:   bf16.FP32Policy,
+				Seed:        1,
+				NoAugment:   true,
+				Telemetry:   rec,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -698,6 +709,13 @@ func BenchmarkStep(b *testing.B) {
 				eng.Step()
 			}
 			b.ReportMetric(float64(eng.GlobalBatch())*float64(b.N)/b.Elapsed().Seconds(), "img/s")
+			if rec != nil {
+				sum := rec.Summary()
+				b.ReportMetric(sum.OverlapEfficiency(), "overlap-eff")
+				if sum.Steps > 0 {
+					b.ReportMetric(sum.Phases[telemetry.PhaseReduceTail].Seconds()*1e3/float64(sum.Steps), "reduce-tail-ms")
+				}
+			}
 		})
 	}
 }

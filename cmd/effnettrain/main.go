@@ -64,7 +64,8 @@ func main() {
 		bnMomentum = flag.Float64("bn-momentum", 0.9, "BN running-stats momentum (TF full-scale default is 0.99; short runs want 0.9)")
 		emaDecay   = flag.Float64("ema", 0, "weight-EMA decay (0 = disabled; reference setup evaluates EMA weights)")
 		collective = flag.String("collective", "ring", "gradient/BN all-reduce algorithm: ring, tree, torus2d, auto")
-		gradBucket = flag.Int("grad-bucket", 0, "gradient bucket size in bytes for overlapped reduction (0 = default 1 MiB)")
+		gradBucket = flag.Int("grad-bucket", 0, "gradient bucket size in bytes for overlapped reduction (0 = default 32 KiB)")
+		noOverlap  = flag.Bool("no-backward-overlap", false, "dispatch gradient buckets only after backward completes (bit-identical A/B baseline for the in-backward overlap)")
 		prefetch   = flag.Int("prefetch", replica.DefaultPrefetchDepth, "input-pipeline depth: batches rendered ahead per replica (0 = render synchronously on the training path)")
 		saveCkpt   = flag.String("save", "", "write a weights-only checkpoint of replica 0's model here after training")
 		bestCkpt   = flag.String("save-best", "", "write a weights-only checkpoint here after every best-so-far evaluation")
@@ -169,6 +170,9 @@ func main() {
 	}
 	if *gradBucket != 0 {
 		opts = append(opts, train.WithGradBuckets(*gradBucket))
+	}
+	if *noOverlap {
+		opts = append(opts, train.WithoutBackwardOverlap())
 	}
 	if *prefetch <= 0 {
 		opts = append(opts, train.WithoutPrefetch())

@@ -67,7 +67,7 @@ func main() {
 		groupList = parseInts(*bnGroups)
 	}
 
-	fmt.Println("optimizer,global_batch,bn_group,model_shards,steps,train_acc,val_acc,img_per_s,overlap_eff")
+	fmt.Println("optimizer,global_batch,bn_group,model_shards,steps,train_acc,val_acc,img_per_s,overlap_eff,reduce_tail_ms")
 	for _, opt := range strings.Split(*optimizers, ",") {
 		for _, batch := range parseInts(*batches) {
 			for _, group := range groupList {
@@ -77,8 +77,8 @@ func main() {
 						fmt.Fprintf(os.Stderr, "minisweep: %s batch %d shards %d: %v\n", opt, batch, ms, err)
 						os.Exit(1)
 					}
-					fmt.Printf("%s,%d,%d,%d,%d,%.4f,%.4f,%.1f,%.4f\n", opt, batch, group, ms,
-						cell.steps, cell.trainAcc, cell.valAcc, cell.imgPerSec, cell.overlap)
+					fmt.Printf("%s,%d,%d,%d,%d,%.4f,%.4f,%.1f,%.4f,%.3f\n", opt, batch, group, ms,
+						cell.steps, cell.trainAcc, cell.valAcc, cell.imgPerSec, cell.overlap, cell.reduceTailMS)
 				}
 			}
 		}
@@ -123,6 +123,7 @@ type cellResult struct {
 	steps            int
 	imgPerSec        float64
 	overlap          float64
+	reduceTailMS     float64
 }
 
 func runOne(ds *data.Dataset, model, opt string, world, modelShards, globalBatch, bnGroup, epochs int, seed int64, larsLR, rmsLR float64, telFile io.Writer) (cell cellResult, retErr error) {
@@ -183,6 +184,11 @@ func runOne(ds *data.Dataset, model, opt string, world, modelShards, globalBatch
 	if res.Telemetry != nil {
 		cell.imgPerSec = res.Telemetry.ImgsPerSec()
 		cell.overlap = res.Telemetry.OverlapEfficiency()
+		// Exposed reduce time per step: what the grad-ready overlap failed to
+		// hide inside backward (ROADMAP item 1's before/after metric).
+		if res.StepsRun > 0 {
+			cell.reduceTailMS = res.Telemetry.Phases[telemetry.PhaseReduceTail].Seconds() * 1e3 / float64(res.StepsRun)
+		}
 	}
 	return cell, nil
 }

@@ -2,6 +2,7 @@ package autograd
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"effnetscale/internal/tensor"
 )
@@ -12,7 +13,9 @@ type Value struct {
 	// T holds the forward result. It must not be mutated after creation.
 	T *tensor.Tensor
 	// Grad accumulates dLoss/dT during Backward. It is nil until the first
-	// contribution arrives and for Values that do not require gradients.
+	// contribution arrives and for Values that do not require gradients —
+	// unless BindGrad pinned it to caller-owned storage, in which case it
+	// is never nil and never reallocated.
 	Grad *tensor.Tensor
 
 	requiresGrad bool
@@ -21,6 +24,25 @@ type Value struct {
 	// nil for leaves.
 	back func(grad *tensor.Tensor)
 	op   string
+
+	// visit stamps the backward pass that last reached this node; stamps
+	// come from a process-wide counter so passes over tapes that share
+	// leaves (parameters accumulate across micro-batch tapes) can never
+	// collide without any per-pass visited map.
+	visit uint64
+	// pending counts this node's not-yet-consumed incoming gradient edges
+	// within the pass stamped in visit. A parameter leaf reaching zero has
+	// received its last Accumulate of the pass — the grad-ready moment.
+	pending int32
+	// param marks leaves registered with a Tape (see Tape.Register).
+	param bool
+	// bound marks Grad as pinned storage (BindGrad): ZeroGrad keeps the
+	// tensor and Accumulate writes through it instead of cloning.
+	bound bool
+	// fresh is true while a bound Grad holds no contribution of the
+	// current accumulation window; the first Accumulate overwrites
+	// (bit-for-bit what Clone used to produce) instead of adding.
+	fresh bool
 }
 
 // Leaf wraps t as a graph input. If requiresGrad is true, Backward will
@@ -40,8 +62,35 @@ func (v *Value) RequiresGrad() bool { return v.requiresGrad }
 func (v *Value) Op() string { return v.op }
 
 // ZeroGrad drops the accumulated gradient so the Value can be reused across
-// steps (parameters are reused; activations are rebuilt each step).
-func (v *Value) ZeroGrad() { v.Grad = nil }
+// steps (parameters are reused; activations are rebuilt each step). A bound
+// gradient (BindGrad) keeps its storage and is merely marked fresh — the
+// owner of the storage decides whether stale bytes need clearing (a leaf the
+// next backward never touches keeps whatever the buffer holds).
+func (v *Value) ZeroGrad() {
+	if v.bound {
+		v.fresh = true
+		return
+	}
+	v.Grad = nil
+}
+
+// BindGrad pins v's gradient to t for the rest of the Value's life: Grad is
+// never nil again, ZeroGrad keeps the tensor, and the first Accumulate of
+// each accumulation window overwrites it in place — no Clone, no per-step
+// allocation. t may alias caller-owned storage (the engine binds every
+// parameter into its flattened reduction buffer), and t's length must match
+// the forward tensor's.
+func (v *Value) BindGrad(t *tensor.Tensor) {
+	if !v.requiresGrad {
+		panic("autograd: BindGrad on a Value that does not require gradients")
+	}
+	if t.Len() != v.T.Len() {
+		panic(fmt.Sprintf("autograd: BindGrad length %d does not match value length %d", t.Len(), v.T.Len()))
+	}
+	v.Grad = t
+	v.bound = true
+	v.fresh = true
+}
 
 // NewOp creates a Value produced by a custom operator. out is the forward
 // result, parents are the graph inputs, and back receives dLoss/dout and must
@@ -63,7 +112,8 @@ func NewOp(op string, out *tensor.Tensor, parents []*Value, back func(grad *tens
 }
 
 // Accumulate adds g into v's gradient if v requires one. Ops call this from
-// their backward closures.
+// their backward closures. A fresh bound gradient is overwritten in place —
+// the same bits Clone used to produce, without the allocation.
 func (v *Value) Accumulate(g *tensor.Tensor) {
 	if !v.requiresGrad {
 		return
@@ -72,58 +122,156 @@ func (v *Value) Accumulate(g *tensor.Tensor) {
 		v.Grad = g.Clone()
 		return
 	}
+	if v.fresh {
+		if g.Len() != v.Grad.Len() {
+			panic(fmt.Sprintf("autograd: Accumulate length %d into bound gradient of length %d", g.Len(), v.Grad.Len()))
+		}
+		copy(v.Grad.Data(), g.Data())
+		v.fresh = false
+		return
+	}
 	tensor.AddInto(v.Grad, g)
 }
 
 // Backward computes gradients of v (which must be a scalar: one element)
-// with respect to every reachable Value that requires gradients.
+// with respect to every reachable Value that requires gradients. Callers
+// that need grad-ready hooks or want the traversal arenas reused across
+// steps run the equivalent Tape.Backward instead.
 func (v *Value) Backward() {
-	if v.T.Len() != 1 {
-		panic(fmt.Sprintf("autograd: Backward requires a scalar loss, got shape %v", v.T.Shape()))
+	var t Tape
+	t.Backward(v)
+}
+
+// passCounter issues process-wide unique stamps for backward passes. A
+// global counter (rather than a per-tape one) means parameters shared
+// across tapes — gradient accumulation runs one tape per micro-batch over
+// the same leaves — can never confuse one pass's visit marks for another's.
+var passCounter atomic.Uint64
+
+// frame is one suspended node of the iterative DFS in Tape.topo.
+type frame struct {
+	v    *Value
+	next int
+}
+
+// Tape owns a backward traversal: reusable DFS arenas (no per-step visited
+// map or order allocation) and the grad-ready seam. Leaves registered as
+// parameters fire the OnGradReady hook the moment their last gradient
+// contribution of a pass lands — while the pass is still back-propagating
+// through earlier layers — which is what lets the engine hand gradient
+// buckets to the reduction stream mid-backward (the paper's §3.4 overlap).
+//
+// A Tape is not safe for concurrent use, and a parameter leaf should be
+// registered with exactly one Tape — the hook fires on whichever tape runs
+// the pass.
+type Tape struct {
+	params  []*Value
+	onReady func(*Value)
+
+	// order and stack are the traversal arenas, reused across passes.
+	order []*Value
+	stack []frame
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Register marks leaves as parameters of this tape: each will fire the
+// OnGradReady hook exactly once per Backward. Values must require gradients
+// and must not be registered twice.
+func (t *Tape) Register(vs ...*Value) {
+	for _, v := range vs {
+		if !v.requiresGrad {
+			panic("autograd: Register on a Value that does not require gradients")
+		}
+		if v.param {
+			panic("autograd: Value registered twice")
+		}
+		v.param = true
+		t.params = append(t.params, v)
 	}
-	if !v.requiresGrad {
-		return // nothing depends on parameters
+}
+
+// OnGradReady installs the grad-ready hook. It is called on the goroutine
+// running Backward, once per registered leaf per pass: mid-walk the moment
+// the leaf's last incoming gradient edge is consumed, or — for registered
+// leaves the graph never reached (a frozen or unused parameter) — after the
+// walk, in registration order. "Ready" means no further contribution can
+// arrive this pass; a leaf the graph never touched is ready with whatever
+// its gradient already holds.
+func (t *Tape) OnGradReady(fn func(*Value)) { t.onReady = fn }
+
+// Backward computes gradients of root (which must be a scalar) with respect
+// to every reachable Value that requires gradients, firing grad-ready hooks
+// along the way. Readiness is tracked by refcounting incoming edges during
+// the topological sort and decrementing as the reverse walk consumes them —
+// a leaf hits zero exactly when the back closure holding its final
+// Accumulate has returned.
+func (t *Tape) Backward(root *Value) {
+	if root.T.Len() != 1 {
+		panic(fmt.Sprintf("autograd: Backward requires a scalar loss, got shape %v", root.T.Shape()))
 	}
-	order := topoSort(v)
-	seed := tensor.Ones(v.T.Shape()...)
-	v.Grad = seed
-	// Reverse topological order: every node's gradient is complete before
-	// its back function runs.
-	for i := len(order) - 1; i >= 0; i-- {
-		n := order[i]
-		if n.back != nil && n.Grad != nil {
-			n.back(n.Grad)
+	pass := passCounter.Add(1)
+	if root.requiresGrad {
+		t.topo(root, pass)
+		root.Grad = tensor.Ones(root.T.Shape()...)
+		// Reverse topological order: every node's gradient is complete
+		// before its back function runs.
+		for i := len(t.order) - 1; i >= 0; i-- {
+			n := t.order[i]
+			if n.back != nil && n.Grad != nil {
+				n.back(n.Grad)
+			}
+			// Consume n's outgoing edges even when back was skipped: the
+			// parents' refcounts counted every edge the sort traversed.
+			for _, p := range n.parents {
+				if !p.requiresGrad || p.visit != pass {
+					continue
+				}
+				p.pending--
+				if p.pending == 0 && p.param && p.back == nil && t.onReady != nil {
+					t.onReady(p)
+				}
+			}
+		}
+	}
+	if t.onReady != nil {
+		for _, p := range t.params {
+			if p.visit != pass {
+				t.onReady(p)
+			}
 		}
 	}
 }
 
-// topoSort returns nodes reachable from root in topological order
-// (parents before children), using an iterative DFS to avoid deep recursion
-// on very deep networks.
-func topoSort(root *Value) []*Value {
-	var order []*Value
-	visited := make(map[*Value]bool)
-	type frame struct {
-		v    *Value
-		next int
-	}
-	stack := []frame{{v: root}}
-	visited[root] = true
-	for len(stack) > 0 {
-		f := &stack[len(stack)-1]
+// topo fills t.order with the nodes reachable from root in topological
+// order (parents before children), stamping each with the pass and counting
+// its incoming gradient edges into pending. Iterative DFS — deep networks
+// must not recurse — over arenas reused across passes.
+func (t *Tape) topo(root *Value, pass uint64) {
+	t.order = t.order[:0]
+	t.stack = append(t.stack[:0], frame{v: root})
+	root.visit = pass
+	root.pending = 0
+	for len(t.stack) > 0 {
+		f := &t.stack[len(t.stack)-1]
 		if f.next < len(f.v.parents) {
 			p := f.v.parents[f.next]
 			f.next++
-			if !visited[p] && p.requiresGrad {
-				visited[p] = true
-				stack = append(stack, frame{v: p})
+			if !p.requiresGrad {
+				continue
 			}
+			if p.visit != pass {
+				p.visit = pass
+				p.pending = 0
+				t.stack = append(t.stack, frame{v: p})
+			}
+			p.pending++
 			continue
 		}
-		order = append(order, f.v)
-		stack = stack[:len(stack)-1]
+		t.order = append(t.order, f.v)
+		t.stack = t.stack[:len(t.stack)-1]
 	}
-	return order
 }
 
 // --- Core differentiable operators ----------------------------------------

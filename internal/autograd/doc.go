@@ -11,7 +11,23 @@
 // (replica.Config.GradAccumSteps, the paper's path to batch 65536 in §3.1)
 // a pure consumer-side composition.
 //
+// The grad-ready seam: a Tape owns the backward traversal. Leaves
+// registered via Tape.Register fire the Tape.OnGradReady hook the moment
+// their last gradient contribution of a pass lands — the sort refcounts
+// each node's incoming edges and the reverse walk decrements them, so a
+// parameter is provably final mid-backward, while the tape is still
+// back-propagating through earlier layers. Registered leaves the graph
+// never reaches fire after the walk, so every registered leaf fires exactly
+// once per Backward. Value.BindGrad complements the hook: it pins a leaf's
+// gradient to caller-owned storage (the engine's flattened reduction
+// buffer), turning the first Accumulate into an in-place overwrite — no
+// Clone, no per-step allocation, bit-for-bit the same result. The Tape also
+// reuses its traversal arenas (order slice, DFS stack; visited marks are
+// pass stamps on the nodes themselves) across steps.
+//
 // Paper: the backward passes here produce the per-replica gradients whose
 // all-reduce is the subject of the paper's communication analysis (§3.4,
-// Table 1).
+// Table 1); the grad-ready hooks are what lets the replica engine overlap
+// that all-reduce with the backward pass itself rather than serializing it
+// after (ROADMAP item 1).
 package autograd

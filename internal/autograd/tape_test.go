@@ -1,0 +1,201 @@
+package autograd
+
+import (
+	"math/rand"
+	"testing"
+
+	"effnetscale/internal/tensor"
+)
+
+// chain builds a depth-deep chain loss = mean(((x*w0)*w1)*...*wN) over
+// registered scalar-shaped parameters and returns the parameters in
+// forward order (w0 closest to the input).
+func chain(depth int) (params []*Value, loss func() *Value) {
+	x := Constant(tensor.Full(0.5, 2, 2))
+	for i := 0; i < depth; i++ {
+		params = append(params, Leaf(tensor.Full(1.1, 2, 2), true))
+	}
+	loss = func() *Value {
+		v := x
+		for _, w := range params {
+			v = Mul(v, w)
+		}
+		return Mean(v)
+	}
+	return params, loss
+}
+
+func TestGradReadyFiresOncePerBackwardInReverseOrder(t *testing.T) {
+	params, loss := chain(5)
+	tape := NewTape()
+	tape.Register(params...)
+	var fired []*Value
+	tape.OnGradReady(func(v *Value) { fired = append(fired, v) })
+
+	for pass := 0; pass < 3; pass++ {
+		fired = fired[:0]
+		for _, p := range params {
+			p.ZeroGrad()
+		}
+		tape.Backward(loss())
+		if len(fired) != len(params) {
+			t.Fatalf("pass %d: %d hooks fired, want %d", pass, len(fired), len(params))
+		}
+		// The chain multiplies w0 first, so backward reaches w4 (the
+		// output side) first: hooks fire in reverse forward order.
+		for i, v := range fired {
+			if want := params[len(params)-1-i]; v != want {
+				t.Fatalf("pass %d: hook %d fired for param %d, want %d", pass, i, indexOf(params, v), len(params)-1-i)
+			}
+			if v.Grad == nil {
+				t.Fatalf("pass %d: hook %d fired before any gradient arrived", pass, i)
+			}
+		}
+	}
+}
+
+func indexOf(params []*Value, v *Value) int {
+	for i, p := range params {
+		if p == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestGradReadyMultiUseLeafFiresAfterLastUse(t *testing.T) {
+	// w is consumed twice: loss = mean(x*w + y*w). The hook must fire only
+	// after both contributions accumulated.
+	w := Leaf(tensor.Full(2, 3), true)
+	x := Constant(tensor.Full(1, 3))
+	y := Constant(tensor.Full(10, 3))
+	tape := NewTape()
+	tape.Register(w)
+	fired := 0
+	tape.OnGradReady(func(v *Value) {
+		fired++
+		// d/dw mean(x*w + y*w) = (x+y)/3 = 11/3 per element.
+		for _, g := range v.Grad.Data() {
+			if g < 3.6 || g > 3.8 {
+				t.Fatalf("hook saw partial gradient %v, want ~3.667", g)
+			}
+		}
+	})
+	tape.Backward(Mean(Add(Mul(x, w), Mul(y, w))))
+	if fired != 1 {
+		t.Fatalf("hook fired %d times, want 1", fired)
+	}
+}
+
+func TestGradReadySkipsNonGradLeavesAndFiresUnreached(t *testing.T) {
+	used := Leaf(tensor.Full(1, 2), true)
+	unused := Leaf(tensor.Full(1, 2), true) // registered, never in the graph
+	frozen := Constant(tensor.Full(1, 2))   // requiresGrad=false: not registrable
+	tape := NewTape()
+	tape.Register(used, unused)
+	var fired []*Value
+	tape.OnGradReady(func(v *Value) { fired = append(fired, v) })
+	tape.Backward(Mean(Mul(used, frozen)))
+	if len(fired) != 2 || fired[0] != used || fired[1] != unused {
+		t.Fatalf("hooks fired for %d leaves in the wrong order (used first, then the unreached leaf)", len(fired))
+	}
+	if unused.Grad != nil {
+		t.Fatalf("unreached leaf grew a gradient")
+	}
+}
+
+func TestRegisterRejectsNonGradAndDoubles(t *testing.T) {
+	tape := NewTape()
+	mustPanic(t, "non-grad leaf", func() { tape.Register(Constant(tensor.Full(1, 1))) })
+	w := Leaf(tensor.Full(1, 1), true)
+	tape.Register(w)
+	mustPanic(t, "double registration", func() { tape.Register(w) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: no panic", name)
+		}
+	}()
+	f()
+}
+
+func TestBindGradMatchesUnboundBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	wt := tensor.Randn(rng, 1, 4, 4)
+	xt := tensor.Randn(rng, 1, 4, 4)
+
+	build := func(w *Value) func() *Value {
+		x := Constant(xt)
+		return func() *Value { return Mean(Mul(Mul(x, w), w)) }
+	}
+
+	plain := Leaf(wt.Clone(), true)
+	lossP := build(plain)
+	bound := Leaf(wt.Clone(), true)
+	buf := make([]float32, wt.Len())
+	bound.BindGrad(tensor.FromSlice(buf, 4, 4))
+	lossB := build(bound)
+
+	// Two accumulation windows of two passes each, ZeroGrad between
+	// windows — the engine's micro-batch pattern.
+	for window := 0; window < 2; window++ {
+		plain.ZeroGrad()
+		bound.ZeroGrad()
+		for pass := 0; pass < 2; pass++ {
+			lossP().Backward()
+			lossB().Backward()
+		}
+		for i, g := range plain.Grad.Data() {
+			if buf[i] != g {
+				t.Fatalf("window %d: bound grad[%d] = %v, plain = %v", window, i, buf[i], g)
+			}
+		}
+	}
+	if &bound.Grad.Data()[0] != &buf[0] {
+		t.Fatalf("bound gradient storage was reallocated")
+	}
+}
+
+func TestTapeReusesArenas(t *testing.T) {
+	params, loss := chain(30)
+	tape := NewTape()
+	tape.Register(params...)
+	tape.Backward(loss())
+	capOrder, capStack := cap(tape.order), cap(tape.stack)
+	if capOrder == 0 || capStack == 0 {
+		t.Fatalf("arenas empty after a pass")
+	}
+	for i := 0; i < 5; i++ {
+		for _, p := range params {
+			p.ZeroGrad()
+		}
+		tape.Backward(loss())
+	}
+	if cap(tape.order) != capOrder || cap(tape.stack) != capStack {
+		t.Fatalf("arenas reallocated across passes: order %d→%d, stack %d→%d",
+			capOrder, cap(tape.order), capStack, cap(tape.stack))
+	}
+}
+
+func TestTapeBackwardMatchesValueBackward(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	wt := tensor.Randn(rng, 1, 3, 3)
+	xt := tensor.Randn(rng, 1, 3, 3)
+
+	a := Leaf(wt.Clone(), true)
+	Mean(Mul(Constant(xt), a)).Backward()
+
+	b := Leaf(wt.Clone(), true)
+	tape := NewTape()
+	tape.Register(b)
+	tape.Backward(Mean(Mul(Constant(xt), b)))
+
+	for i := range a.Grad.Data() {
+		if a.Grad.Data()[i] != b.Grad.Data()[i] {
+			t.Fatalf("grad[%d]: Value.Backward %v vs Tape.Backward %v", i, a.Grad.Data()[i], b.Grad.Data()[i])
+		}
+	}
+}

@@ -245,6 +245,26 @@ func (m *Model) NumParams() int {
 	return n
 }
 
+// RegisterParams registers every parameter with the tape so Backward fires
+// a grad-ready hook per parameter (the engine's bucket-assembly seam).
+func (m *Model) RegisterParams(t *autograd.Tape) {
+	nn.RegisterParams(t, m.params)
+}
+
+// BindGrads pins every parameter's gradient to consecutive spans of buf in
+// Params() order — the engine's flattened gradient layout — and returns the
+// floats consumed (== NumParams()). After this, backward accumulates
+// directly into buf and no flatten copy exists.
+func (m *Model) BindGrads(buf []float32) int {
+	off := 0
+	for _, p := range m.params {
+		n := p.Data().Len()
+		p.BindGrad(buf[off : off+n])
+		off += n
+	}
+	return off
+}
+
 // CopyWeightsFrom copies all parameters and BN running statistics from src.
 // Models must have identical architecture. Used to give every replica the
 // same initial weights.

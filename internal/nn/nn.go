@@ -28,6 +28,22 @@ func (p *Param) Data() *tensor.Tensor { return p.Value.T }
 // Grad returns the parameter's gradient tensor (nil before backward).
 func (p *Param) Grad() *tensor.Tensor { return p.Value.Grad }
 
+// BindGrad pins the parameter's gradient to buf, viewed in the parameter's
+// shape. buf typically aliases a span of the engine's flattened reduction
+// buffer: backward then accumulates straight into the all-reduce payload —
+// no Clone on first touch, no post-backward flatten copy.
+func (p *Param) BindGrad(buf []float32) {
+	p.Value.BindGrad(tensor.FromSlice(buf, p.Data().Shape()...))
+}
+
+// RegisterParams registers every parameter's leaf with the tape so Backward
+// fires its grad-ready hook (see autograd.Tape).
+func RegisterParams(t *autograd.Tape, params []*Param) {
+	for _, p := range params {
+		t.Register(p.Value)
+	}
+}
+
 // ParamIndex builds a name→parameter map over params, erroring on duplicate
 // names. Checkpoint state is keyed by parameter name, so a duplicate would
 // silently alias two parameters' saved state.

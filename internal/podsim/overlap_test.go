@@ -41,3 +41,48 @@ func TestOverlapDirectionAcrossModels(t *testing.T) {
 		t.Fatalf("B2 overlap speedup (%v%%) must exceed B5's (%v%%)", b2.SpeedupPct(), b5.SpeedupPct())
 	}
 }
+
+func TestGradReadyTailIsOneBucket(t *testing.T) {
+	const mib = 1 << 20
+	small, err := ModelStepGradReady("b2", 1024, 32768, 0, mib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := ModelStepGradReady("b2", 1024, 32768, 0, 8*mib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposed := func(o OverlapResult) float64 {
+		return o.AllReduceSeconds * (1 - o.OverlapFraction)
+	}
+	// The exposed tail is one bucket's collective, so it shrinks with the
+	// bucket size ...
+	if exposed(small) >= exposed(big) {
+		t.Fatalf("1 MiB tail %v must beat 8 MiB tail %v", exposed(small), exposed(big))
+	}
+	// ... while total busy time grows: more buckets, more α latency.
+	if small.AllReduceSeconds <= big.AllReduceSeconds {
+		t.Fatalf("1 MiB busy %v must exceed 8 MiB busy %v", small.AllReduceSeconds, big.AllReduceSeconds)
+	}
+	// Grad-ready dispatch with per-layer buckets beats the fixed-10%-tail
+	// flatten model of ModelStepOverlapped.
+	flat, err := ModelStepOverlapped("b2", 1024, 32768, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.OverlapFraction <= flat.OverlapFraction {
+		t.Fatalf("grad-ready overlap %v must exceed the flatten model's %v", small.OverlapFraction, flat.OverlapFraction)
+	}
+	if small.OverlappedStepSeconds >= small.StepBreakdown.StepSeconds() {
+		t.Fatal("overlap must shrink the step")
+	}
+}
+
+func TestGradReadyValidation(t *testing.T) {
+	if _, err := ModelStepGradReady("bogus", 1024, 32768, 0, 1<<20); err == nil {
+		t.Fatal("unknown model must error")
+	}
+	if _, err := ModelStepGradReady("b2", 1024, 32768, 0, 0); err == nil {
+		t.Fatal("zero bucket size must error")
+	}
+}

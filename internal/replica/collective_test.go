@@ -10,9 +10,9 @@ import (
 )
 
 func TestBucketedOverlapKeepsReplicasInSync(t *testing.T) {
-	// Tiny buckets force the flatten/reduce pipeline through many
-	// overlapped collectives per step; the core SPMD invariant — bitwise
-	// identical weights on every replica — must survive.
+	// Tiny buckets force the grad-ready dispatch through many overlapped
+	// collectives per step; the core SPMD invariant — bitwise identical
+	// weights on every replica — must survive.
 	cfg := miniEngineConfig(4, 2, 2)
 	cfg.GradBucketBytes = 256 // 64 floats per bucket: hundreds of buckets
 	e, err := New(cfg)

@@ -7,11 +7,15 @@
 // optimizer updates so the replicas never diverge — the same SPMD structure
 // the paper's TPU training uses.
 //
-// Gradient reduction is bucketed and overlapped: the flattened gradient is
-// cut into fixed-size buckets, and bucket k all-reduces on a background
-// collective stream while bucket k+1 is still being flattened from the
-// autograd tape — communication hides behind the flatten instead of
-// serializing after it (the executable cousin of podsim's overlap model).
+// Gradient reduction is bucketed and overlapped with the backward pass
+// itself: every parameter's gradient is bound into the flattened reduction
+// buffer (autograd.Value.BindGrad), the tape's grad-ready hooks report each
+// parameter the moment its last gradient contribution lands, and a bucket
+// whose members are all ready is handed to the background collective stream
+// while backward is still running — only the stem's bucket, ready when
+// backward ends, is structurally exposed (the executable cousin of podsim's
+// grad-ready overlap model; Config.NoBackwardOverlap serializes dispatch as
+// a bit-for-bit identical A/B baseline).
 //
 // Distributed batch normalization (§3.4) is wired in by giving every
 // BatchNorm layer a reducer that all-reduces its per-channel statistics

@@ -1,0 +1,132 @@
+package replica
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBucketMembershipEdgeCases pins the parameter↔bucket tables the
+// grad-ready dispatch counts down: bucket boundaries landing mid-parameter,
+// ragged last buckets, a bucket swallowing the whole gradient, and a
+// single-parameter model.
+func TestBucketMembershipEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		spans   [][2]int
+		buckets [][2]int
+		wantPB  [][2]int
+		wantMem []int
+	}{
+		{
+			name:    "boundary mid-parameter",
+			spans:   [][2]int{{0, 3}, {3, 10}}, // second param straddles the edge at 5
+			buckets: [][2]int{{0, 5}, {5, 10}},
+			wantPB:  [][2]int{{0, 0}, {0, 1}},
+			wantMem: []int{2, 1},
+		},
+		{
+			name:    "ragged last bucket",
+			spans:   [][2]int{{0, 4}, {4, 9}},
+			buckets: [][2]int{{0, 4}, {4, 8}, {8, 9}},
+			wantPB:  [][2]int{{0, 0}, {1, 2}},
+			wantMem: []int{1, 1, 1},
+		},
+		{
+			name:    "bucket covers whole gradient",
+			spans:   [][2]int{{0, 2}, {2, 5}, {5, 7}},
+			buckets: [][2]int{{0, 7}},
+			wantPB:  [][2]int{{0, 0}, {0, 0}, {0, 0}},
+			wantMem: []int{3},
+		},
+		{
+			name:    "single parameter across buckets",
+			spans:   [][2]int{{0, 6}},
+			buckets: [][2]int{{0, 4}, {4, 6}},
+			wantPB:  [][2]int{{0, 1}},
+			wantMem: []int{1, 1},
+		},
+		{
+			name:    "single parameter single bucket",
+			spans:   [][2]int{{0, 6}},
+			buckets: [][2]int{{0, 6}},
+			wantPB:  [][2]int{{0, 0}},
+			wantMem: []int{1},
+		},
+	} {
+		pb, mem := bucketMembership(tc.spans, tc.buckets)
+		if !reflect.DeepEqual(pb, tc.wantPB) {
+			t.Errorf("%s: paramBuckets = %v, want %v", tc.name, pb, tc.wantPB)
+		}
+		if !reflect.DeepEqual(mem, tc.wantMem) {
+			t.Errorf("%s: members = %v, want %v", tc.name, mem, tc.wantMem)
+		}
+	}
+}
+
+// TestBucketMembershipMatchesEngineTables cross-checks the real engine's
+// tables: every parameter's bucket range must cover its span, and member
+// counts must sum to the total number of (param, bucket) overlaps.
+func TestBucketMembershipMatchesEngineTables(t *testing.T) {
+	e, err := New(miniEngineConfig(2, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	spans := paramSpans(e.Replica(0).Model.Params())
+	if len(e.paramBuckets) != len(spans) {
+		t.Fatalf("paramBuckets has %d entries for %d params", len(e.paramBuckets), len(spans))
+	}
+	overlaps := 0
+	for i, s := range spans {
+		pb := e.paramBuckets[i]
+		if e.buckets[pb[0]][1] <= s[0] || e.buckets[pb[1]][0] >= s[1] {
+			t.Fatalf("param %d span %v not covered by buckets %v", i, s, pb)
+		}
+		overlaps += pb[1] - pb[0] + 1
+	}
+	sum := 0
+	for _, m := range e.bucketParams {
+		if m < 1 {
+			t.Fatalf("a bucket with no members can never dispatch: %v", e.bucketParams)
+		}
+		sum += m
+	}
+	if sum != overlaps {
+		t.Fatalf("member counts sum to %d, want %d overlaps", sum, overlaps)
+	}
+}
+
+// TestOverlapVsSerializedBitwise runs the same training twice — grad-ready
+// in-backward dispatch vs all buckets after backward — and requires
+// bit-for-bit identical weights: the overlap changes when buckets reduce,
+// never what they contain or the averaging order.
+func TestOverlapVsSerializedBitwise(t *testing.T) {
+	overlapped := miniEngineConfig(4, 2, 2)
+	serialized := miniEngineConfig(4, 2, 2)
+	serialized.NoBackwardOverlap = true
+	a, err := New(overlapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(serialized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for i := 0; i < 4; i++ {
+		ra, rb := a.Step(), b.Step()
+		if ra.Loss != rb.Loss || ra.Accuracy != rb.Accuracy {
+			t.Fatalf("step %d: overlapped %+v vs serialized %+v", i, ra, rb)
+		}
+	}
+	for i, p := range a.Replica(0).Model.Params() {
+		q := b.Replica(0).Model.Params()[i]
+		pd, qd := p.Data().Data(), q.Data().Data()
+		for j := range pd {
+			if pd[j] != qd[j] {
+				t.Fatalf("weights diverge at %s[%d]: %v vs %v", p.Name, j, pd[j], qd[j])
+			}
+		}
+	}
+}

@@ -94,9 +94,17 @@ type Config struct {
 	Collective comm.Provider
 	// GradBucketBytes is the bucket size for overlapped gradient reduction:
 	// the flattened gradient is cut into buckets of this many bytes, each
-	// all-reduced on a background stream while later buckets are still
-	// being flattened. 0 picks DefaultGradBucketBytes.
+	// all-reduced on a background stream the moment the backward pass has
+	// produced the bucket's last gradient. 0 picks DefaultGradBucketBytes.
 	GradBucketBytes int
+	// NoBackwardOverlap serializes the gradient reduction after the
+	// backward pass instead of dispatching buckets from the tape's
+	// grad-ready hooks mid-backward. Bucket spans, reduction order within a
+	// bucket and the averaging arithmetic are identical either way, so the
+	// trajectory is bit-for-bit unchanged — this knob exists purely as the
+	// A/B baseline for measuring the overlap win (CI's overlap-smoke job,
+	// ROADMAP item 1's before/after reduce_tail numbers).
+	NoBackwardOverlap bool
 	// PrefetchDepth configures the per-replica input pipeline: the number
 	// of rendered batches buffered ahead of the compute loop, with
 	// augmentation applied inside the pipeline. 0 means
@@ -121,10 +129,14 @@ const DefaultPrefetchDepth = 2
 const PrefetchOff = -1
 
 // DefaultGradBucketBytes is the gradient bucket size when Config leaves
-// GradBucketBytes zero: 1 MiB, small enough to start communicating well
-// before the flatten finishes on paper-scale models, large enough to stay
-// bandwidth-bound per bucket.
-const DefaultGradBucketBytes = 1 << 20
+// GradBucketBytes zero: 32 KiB. Grad-ready dispatch overlaps reduction
+// with the backward pass itself, so the useful bucket granularity is the
+// per-layer gradient scale — a bucket can only leave when its *last*
+// parameter is ready, and a bucket sized near the whole model degenerates
+// to a serialized post-backward reduce (the stem, computed last, gates it).
+// 32 KiB (8K fp32) keeps even the mini models in several buckets while
+// staying bandwidth-bound per collective.
+const DefaultGradBucketBytes = 32 << 10
 
 // StepResult aggregates one global step's metrics across all replicas.
 type StepResult struct {
@@ -144,6 +156,12 @@ type Engine struct {
 	// into for overlapped reduction — identical across replicas, or the
 	// lockstep collectives would deadlock.
 	buckets [][2]int
+	// paramBuckets[i] is the [first, last] (inclusive) bucket-index range
+	// parameter i's gradient span overlaps, in Params() order.
+	paramBuckets [][2]int
+	// bucketParams[b] counts the parameters overlapping bucket b — the
+	// countdown bucket assembly re-arms every step.
+	bucketParams []int
 	// stepsPerEpoch is ceil(train size / global batch).
 	stepsPerEpoch int
 	stepCount     int
@@ -180,6 +198,28 @@ type Replica struct {
 	batch   *tensor.Tensor
 	labels  []int
 	accum   int
+
+	// tape drives the backward passes; every parameter is registered with
+	// it and has its gradient bound into gradBuf (no flatten copy), so the
+	// tape's grad-ready hooks can dispatch reduction buckets mid-backward.
+	tape *autograd.Tape
+	// slot maps a parameter leaf back to its Params() index — the key into
+	// the engine's paramBuckets table. Built once; no per-step allocation.
+	slot map[*autograd.Value]int
+	// paramBuckets and bucketParams alias the engine's tables.
+	paramBuckets [][2]int
+	bucketParams []int
+	// remaining is the per-bucket countdown of not-yet-ready parameters,
+	// re-armed from bucketParams before the final micro-batch's backward.
+	remaining []int
+	// assembling gates the grad-ready hook: bucket dispatch happens only
+	// during the accumulation window's final backward pass.
+	assembling bool
+	// ready feeds the step's reduction stream; sent counts dispatches.
+	ready chan [2]int
+	sent  int
+	// noOverlap serializes dispatch after backward (Config.NoBackwardOverlap).
+	noOverlap bool
 
 	// ctxStream and augStream are the serializable positions of this
 	// replica's dropout/stochastic-depth RNG (ctx.RNG) and synchronous-path
@@ -225,6 +265,46 @@ func gradBuckets(gradLen, bucketBytes int) [][2]int {
 		out = append(out, [2]int{lo, hi})
 	}
 	return out
+}
+
+// bucketMembership maps parameter gradient spans onto bucket spans: for
+// each parameter the inclusive [first, last] range of buckets its span
+// overlaps (a bucket boundary may land mid-parameter), and for each bucket
+// the number of overlapping parameters. Both inputs must tile [0, gradLen)
+// contiguously in ascending order — what paramSpans and gradBuckets
+// produce.
+func bucketMembership(spans, buckets [][2]int) (paramBuckets [][2]int, members []int) {
+	paramBuckets = make([][2]int, len(spans))
+	members = make([]int, len(buckets))
+	b := 0
+	for i, s := range spans {
+		for buckets[b][1] <= s[0] {
+			b++
+		}
+		last := b
+		for buckets[last][1] < s[1] {
+			last++
+		}
+		paramBuckets[i] = [2]int{b, last}
+		for j := b; j <= last; j++ {
+			members[j]++
+		}
+		b = last
+	}
+	return paramBuckets, members
+}
+
+// paramSpans returns each parameter's [lo, hi) span in the flattened
+// gradient, in Params() order — the layout BindGrads pins gradients to.
+func paramSpans(params []*nn.Param) [][2]int {
+	spans := make([][2]int, 0, len(params))
+	off := 0
+	for _, p := range params {
+		n := p.Data().Len()
+		spans = append(spans, [2]int{off, off + n})
+		off += n
+	}
+	return spans
 }
 
 // New builds the engine: one model copy per replica (identical weights),
@@ -349,6 +429,7 @@ func New(cfg Config) (*Engine, error) {
 	ref := efficientnet.New(rand.New(rand.NewSource(cfg.Seed)), modelCfg)
 	e.gradLen = ref.NumParams()
 	e.buckets = gradBuckets(e.gradLen, cfg.GradBucketBytes)
+	e.paramBuckets, e.bucketParams = bucketMembership(paramSpans(ref.Params()), e.buckets)
 
 	// The global batch follows the data axis: model-group members consume
 	// the same shard, so only Data distinct batches exist per step.
@@ -388,6 +469,24 @@ func New(cfg Config) (*Engine, error) {
 			// equal and only the sharded exchanges need communication.
 			rep.plan = buildShardPlan(m, mIdx, cfg.Mesh.Model, msh.ModelColl(r))
 		}
+		// The grad-ready wiring: parameters register with the replica's
+		// tape and bind their gradients into gradBuf (backward accumulates
+		// straight into the reduction payload — the flatten copy is gone),
+		// and the hook counts buckets down as leaves become final.
+		rep.tape = autograd.NewTape()
+		m.RegisterParams(rep.tape)
+		if n := m.BindGrads(rep.gradBuf); n != e.gradLen {
+			panic(fmt.Sprintf("replica: bound %d gradient floats, gradLen is %d", n, e.gradLen))
+		}
+		rep.slot = make(map[*autograd.Value]int, len(m.Params()))
+		for i, p := range m.Params() {
+			rep.slot[p.Value] = i
+		}
+		rep.paramBuckets = e.paramBuckets
+		rep.bucketParams = e.bucketParams
+		rep.remaining = make([]int, len(e.buckets))
+		rep.noOverlap = cfg.NoBackwardOverlap
+		rep.tape.OnGradReady(rep.onGradReady)
 		// The RNGs draw through counting streams so a snapshot can record —
 		// and a resume can replay — their exact positions. The values are
 		// bit-identical to the plain rand.NewSource construction. Seeds key
@@ -601,6 +700,13 @@ func (e *Engine) Step() StepResult {
 // replica's phase timings (every timing call is nil-safe and free when
 // telemetry is off).
 func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, dataWorld int, augment bool, sample *telemetry.StepSample) StepResult {
+	// Gradients are bound into gradBuf (BindGrads), so clearing the buffer
+	// once clears every parameter's gradient; ZeroGrad just marks each
+	// bound leaf fresh. A parameter the backward never touches contributes
+	// exactly the zeros written here — same as the old flatten's zero fill.
+	for i := range r.gradBuf {
+		r.gradBuf[i] = 0
+	}
 	for _, p := range r.Model.Params() {
 		p.Value.ZeroGrad()
 	}
@@ -613,6 +719,32 @@ func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, data
 	if sample != nil && r.pipe != nil {
 		starved0 = r.pipe.Starved()
 	}
+	// The reduction stream: a background goroutine all-reduces each bucket
+	// the moment the tape's grad-ready hooks complete it — mid-backward,
+	// while the tape is still back-propagating through earlier layers (the
+	// paper's §3.4 overlap). Dispatch order follows gradient readiness, so
+	// output-side buckets reduce under the stem's backward compute. The
+	// order is identical across replicas — the graph is structurally
+	// identical on every rank (dropout and drop-path are mask multiplies,
+	// never structural edits), so the lockstep SPMD property holds — and
+	// bucket spans never overlap, so the stream reads a span only after
+	// backward finished writing it (the channel send orders the two).
+	ready := make(chan [2]int, len(r.buckets))
+	streamDone := make(chan struct{})
+	r.ready = ready
+	r.sent = 0
+	go func() {
+		defer close(streamDone)
+		for b := range ready {
+			// PhaseReduce is this stream's collective busy time; the sample's
+			// other phases belong to the loop goroutine, so the two writers
+			// never touch the same phase (see telemetry.StepSample).
+			t0 := sample.Now()
+			r.coll.AllReduce(r.gradBuf[b[0]:b[1]])
+			sample.Add(telemetry.PhaseReduce, t0)
+		}
+	}()
+
 	// Run GradAccumSteps micro-batches, accumulating gradients locally
 	// before the all-reduce (autograd accumulation across tapes).
 	var lossSum float64
@@ -656,7 +788,16 @@ func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, data
 		loss := autograd.SoftmaxCrossEntropy(logits, labels, smoothing)
 		sample.Add(telemetry.PhaseForward, t0)
 		t0 = sample.Now()
-		loss.Backward()
+		if k == r.accum-1 && !r.noOverlap {
+			// Arm bucket assembly for the accumulation window's final
+			// backward: the hooks below count each bucket down and hand it
+			// to the stream when its last parameter fires. Earlier
+			// micro-batches only accumulate — their leaves are not final.
+			copy(r.remaining, r.bucketParams)
+			r.assembling = true
+		}
+		r.tape.Backward(loss)
+		r.assembling = false
 		sample.Add(telemetry.PhaseBackward, t0)
 
 		pred := autograd.Argmax(logits.T)
@@ -676,55 +817,25 @@ func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, data
 		sample.AddStarved(r.pipe.Starved() - starved0)
 	}
 
-	// Flatten gradients bucket by bucket, overlapping communication with
-	// the flatten: as soon as bucket k is fully flattened it is handed to a
-	// background reduction stream, which all-reduces it while bucket k+1 is
-	// still being copied off the autograd tape. Buckets are identical
-	// across replicas and reduced in order, so the lockstep SPMD property
-	// of the collective is preserved; bucket spans never overlap, so the
-	// stream reads a region only after the flatten wrote it (the channel
-	// send orders the two).
-	ready := make(chan [2]int, len(r.buckets))
-	streamDone := make(chan struct{})
-	go func() {
-		defer close(streamDone)
-		for b := range ready {
-			// PhaseReduce is this stream's collective busy time; the sample's
-			// other phases belong to the loop goroutine, so the two writers
-			// never touch the same phase (see telemetry.StepSample).
-			t0 := sample.Now()
-			r.coll.AllReduce(r.gradBuf[b[0]:b[1]])
-			sample.Add(telemetry.PhaseReduce, t0)
-		}
-	}()
-	off := 0
-	next := 0 // next bucket awaiting completion
-	for _, p := range r.Model.Params() {
-		g := p.Grad()
-		if g == nil {
-			// Parameter unused this step: contribute zeros.
-			for i := 0; i < p.Data().Len(); i++ {
-				r.gradBuf[off+i] = 0
-			}
-			off += p.Data().Len()
-		} else {
-			copy(r.gradBuf[off:off+g.Len()], g.Data())
-			off += g.Len()
-		}
-		for next < len(r.buckets) && off >= r.buckets[next][1] {
-			ready <- r.buckets[next]
-			next++
+	if r.noOverlap {
+		// Serialized baseline: hand every bucket to the stream only now,
+		// after backward completed — the pre-grad-ready engine, kept for
+		// A/B measurement. Ascending order, as the flatten used to send.
+		for _, b := range r.buckets {
+			ready <- b
+			r.sent++
 		}
 	}
-	if next != len(r.buckets) || off != len(r.gradBuf) {
-		// Params must exactly cover gradBuf and the bucket spans exactly
-		// cover [0, gradLen): anything else means an unreduced span, which
-		// would silently desynchronize the replicas.
-		panic(fmt.Sprintf("replica: flatten covered %d/%d floats, drained %d/%d buckets", off, len(r.gradBuf), next, len(r.buckets)))
+	if r.sent != len(r.buckets) {
+		// Every registered leaf fires exactly once per backward, so every
+		// bucket must have been dispatched: anything else means an
+		// unreduced span, which would silently desynchronize the replicas.
+		panic(fmt.Sprintf("replica: dispatched %d/%d buckets; a parameter missed its grad-ready hook", r.sent, len(r.buckets)))
 	}
 	close(ready)
-	// The flatten is done; whatever reduction remains is exposed on the
-	// critical path — the tail the overlap could not hide.
+	// Backward is done; whatever reduction remains is exposed on the
+	// critical path — the tail the overlap could not hide (at least the
+	// stem's bucket, whose last gradient is backward's final product).
 	t0 := sample.Now()
 	<-streamDone
 	sample.Add(telemetry.PhaseReduceTail, t0)
@@ -737,19 +848,12 @@ func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, data
 		r.plan.exchangeGrads(r.gradBuf, sample)
 	}
 	t0 = sample.Now()
+	// Average in place: every parameter's Grad aliases gradBuf, so one
+	// scale pass readies all of them for the optimizer. Same multiply in
+	// the same order as the old copy-out loop — bit-for-bit the same step.
 	inv := float32(1) / float32(dataWorld*r.accum)
-	off = 0
-	for _, p := range r.Model.Params() {
-		n := p.Data().Len()
-		g := p.Grad()
-		if g == nil {
-			g = tensor.New(p.Data().Shape()...)
-			p.Value.Grad = g
-		}
-		for i := 0; i < n; i++ {
-			g.Data()[i] = r.gradBuf[off+i] * inv
-		}
-		off += n
+	for i := range r.gradBuf {
+		r.gradBuf[i] *= inv
 	}
 	r.opt.Step(r.Model.Params(), lr)
 	if r.ema != nil {
@@ -763,6 +867,30 @@ func (r *Replica) trainStep(epoch, step int, lr float64, smoothing float32, data
 	return StepResult{
 		Loss:     sums[0] / sums[2],
 		Accuracy: sums[1] / sums[2],
+	}
+}
+
+// onGradReady is the tape's grad-ready hook, called on the loop goroutine
+// mid-backward when parameter leaf v has received its last gradient
+// contribution of the pass. During the accumulation window's final backward
+// it counts the leaf out of each bucket it overlaps and hands completed
+// buckets to the reduction stream — early (output-side) buckets all-reduce
+// while the tape is still back-propagating through the stem.
+func (r *Replica) onGradReady(v *autograd.Value) {
+	if !r.assembling {
+		return
+	}
+	i, ok := r.slot[v]
+	if !ok {
+		panic("replica: grad-ready hook for an unknown parameter leaf")
+	}
+	pb := r.paramBuckets[i]
+	for b := pb[0]; b <= pb[1]; b++ {
+		r.remaining[b]--
+		if r.remaining[b] == 0 {
+			r.ready <- r.buckets[b]
+			r.sent++
+		}
 	}
 }
 

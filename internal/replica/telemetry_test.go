@@ -13,10 +13,10 @@ import (
 // newTelemetryEngine builds a small multi-replica engine with grad
 // accumulation, distributed BN and small buckets — every instrumented path
 // lit up at once (and raced over by `go test -race`).
-func newTelemetryEngine(t *testing.T, rec *telemetry.Recorder, prefetch int) *Engine {
+func newTelemetryEngine(t *testing.T, rec *telemetry.Recorder, prefetch int, tweaks ...func(*Config)) *Engine {
 	t.Helper()
 	ds := data.New(data.MiniConfig(4, 256, 16))
-	eng, err := New(Config{
+	cfg := Config{
 		World:           4,
 		PerReplicaBatch: 2,
 		Model:           "pico",
@@ -31,7 +31,11 @@ func newTelemetryEngine(t *testing.T, rec *telemetry.Recorder, prefetch int) *En
 		Collective:      comm.TreeProvider(),
 		PrefetchDepth:   prefetch,
 		Telemetry:       rec,
-	})
+	}
+	for _, tw := range tweaks {
+		tw(&cfg)
+	}
+	eng, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,14 +100,19 @@ func TestEngineTelemetry(t *testing.T) {
 
 // TestEngineTelemetryPrefetchMatchesInline verifies instrumentation is
 // observation only: with and without telemetry, with and without prefetch,
-// the training trajectory is bit-for-bit identical.
+// and with the in-backward overlap disabled, the training trajectory is
+// bit-for-bit identical.
 func TestEngineTelemetryPrefetchMatchesInline(t *testing.T) {
 	plain := newTelemetryEngine(t, nil, PrefetchOff)
 	instr := newTelemetryEngine(t, telemetry.NewRecorder(), 2)
+	serial := newTelemetryEngine(t, telemetry.NewRecorder(), 2, func(c *Config) { c.NoBackwardOverlap = true })
 	for i := 0; i < 3; i++ {
-		a, b := plain.Step(), instr.Step()
+		a, b, c := plain.Step(), instr.Step(), serial.Step()
 		if a.Loss != b.Loss || a.Accuracy != b.Accuracy {
 			t.Fatalf("step %d: instrumented trajectory diverged: %+v vs %+v", i, a, b)
+		}
+		if a.Loss != c.Loss || a.Accuracy != c.Accuracy {
+			t.Fatalf("step %d: serialized-reduction trajectory diverged: %+v vs %+v", i, a, c)
 		}
 	}
 	if sync := instr.WeightsInSync(); sync != "" {
@@ -111,10 +120,14 @@ func TestEngineTelemetryPrefetchMatchesInline(t *testing.T) {
 	}
 	for i, p := range plain.Replica(0).Model.Params() {
 		q := instr.Replica(0).Model.Params()[i]
-		ad, bd := p.Data().Data(), q.Data().Data()
+		r := serial.Replica(0).Model.Params()[i]
+		ad, bd, cd := p.Data().Data(), q.Data().Data(), r.Data().Data()
 		for j := range ad {
 			if ad[j] != bd[j] {
 				t.Fatalf("weights diverge at %s[%d]", p.Name, j)
+			}
+			if ad[j] != cd[j] {
+				t.Fatalf("serialized weights diverge at %s[%d]", p.Name, j)
 			}
 		}
 	}

@@ -10,7 +10,8 @@
 // payload and rank wall time; the input pipeline counts starvation; the
 // checkpoint writer reports write latencies. A Recorder aggregates all of
 // it per step and per epoch — throughput (img/s), comm-overlap efficiency
-// (the fraction of collective busy time hidden behind the flatten), ETA —
+// (the fraction of collective busy time hidden inside the backward pass),
+// ETA —
 // and fans records out to pluggable Sinks (JSONL file, CSV file, live
 // console summary) plus a run-lifetime Summary.
 //

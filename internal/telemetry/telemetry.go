@@ -12,11 +12,13 @@ import (
 type Phase int
 
 // The step phases, in critical-path order. PhaseReduce is the collective
-// busy time on the background gradient-reduction stream — most of it runs
-// concurrently with PhaseBackward's flatten — while PhaseReduceTail is the
-// exposed part: the wait between the flatten finishing and the last bucket's
-// all-reduce completing. Overlap efficiency is the fraction of PhaseReduce
-// hidden behind other work (see StepRecord.OverlapEfficiency).
+// busy time on the background gradient-reduction stream — buckets dispatch
+// from inside the backward pass the moment their last gradient lands (the
+// autograd tape's grad-ready hooks), so most of it runs concurrently with
+// PhaseBackward itself — while PhaseReduceTail is the exposed part: the wait
+// between backward finishing and the last bucket's all-reduce completing.
+// Overlap efficiency is the fraction of PhaseReduce hidden behind other work
+// (see StepRecord.OverlapEfficiency).
 const (
 	// PhaseDataWait is time spent obtaining input batches: blocking on the
 	// prefetch pipeline, or rendering+augmenting inline when prefetch is off.
@@ -25,9 +27,10 @@ const (
 	PhaseForward
 	// PhaseBackward is the backward pass over the autograd tape.
 	PhaseBackward
-	// PhaseReduce is gradient-collective busy time on the overlap stream.
+	// PhaseReduce is gradient-collective busy time on the overlap stream,
+	// most of it concurrent with PhaseBackward (grad-ready bucket dispatch).
 	PhaseReduce
-	// PhaseReduceTail is reduce time not hidden behind the flatten.
+	// PhaseReduceTail is reduce time not hidden inside the backward pass.
 	PhaseReduceTail
 	// PhaseMPExchange is model-axis exchange time on a hybrid mesh: the
 	// all-gather that rebuilds full gradients from the per-shard slices after
@@ -171,7 +174,7 @@ func (r StepRecord) ImgsPerSec() float64 {
 }
 
 // OverlapEfficiency is the fraction of gradient-reduction busy time hidden
-// behind the flatten: 1 − tail/busy, clamped to [0, 1]. A step with no
+// inside the backward pass: 1 − tail/busy, clamped to [0, 1]. A step with no
 // reduction work reports 1 (nothing needed hiding).
 func (r StepRecord) OverlapEfficiency() float64 {
 	return overlapEfficiency(r.Phases[PhaseReduce], r.Phases[PhaseReduceTail])
@@ -282,7 +285,7 @@ func (s Summary) ImgsPerSec() float64 {
 }
 
 // OverlapEfficiency is the run-wide fraction of gradient-reduction busy time
-// hidden behind the flatten.
+// hidden inside the backward pass.
 func (s Summary) OverlapEfficiency() float64 {
 	return overlapEfficiency(s.Phases[PhaseReduce], s.Phases[PhaseReduceTail])
 }

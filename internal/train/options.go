@@ -70,9 +70,10 @@ type config struct {
 	bnMomentum     float64
 	emaDecay       float64
 
-	collective  comm.Provider
-	gradBuckets int
-	prefetch    int
+	collective        comm.Provider
+	gradBuckets       int
+	prefetch          int
+	noBackwardOverlap bool
 
 	epochs      int
 	evalEvery   int
@@ -287,15 +288,29 @@ func WithCollective(p comm.Provider) Option {
 }
 
 // WithGradBuckets sets the bucket size, in bytes, for overlapped gradient
-// reduction: bucket k all-reduces on a background stream while bucket k+1 is
-// still being flattened from the autograd tape. Smaller buckets start
-// communicating earlier; larger buckets amortize per-collective latency.
+// reduction: each bucket all-reduces on a background stream the moment the
+// backward pass has produced the last gradient it covers (the autograd tape's
+// grad-ready hooks). Smaller buckets start communicating earlier; larger
+// buckets amortize per-collective latency.
 func WithGradBuckets(bytes int) Option {
 	return func(c *config) error {
 		if bytes < 4 {
 			return fmt.Errorf("train: grad bucket size %d bytes must hold at least one fp32 value", bytes)
 		}
 		c.gradBuckets = bytes
+		return nil
+	}
+}
+
+// WithoutBackwardOverlap disables in-backward gradient reduction: every
+// bucket is dispatched only after the backward pass completes, serializing
+// compute and communication. Bucket spans and averaging order are unchanged,
+// so trained weights are bit-for-bit identical to the overlapped path — this
+// is the A/B baseline for measuring what the overlap hides (the telemetry
+// reduce vs reduce_tail split).
+func WithoutBackwardOverlap() Option {
+	return func(c *config) error {
+		c.noBackwardOverlap = true
 		return nil
 	}
 }

@@ -136,6 +136,7 @@ func New(opts ...Option) (*Session, error) {
 		EMADecay:            c.emaDecay,
 		Collective:          c.collective,
 		GradBucketBytes:     c.gradBuckets,
+		NoBackwardOverlap:   c.noBackwardOverlap,
 		PrefetchDepth:       c.prefetch,
 		Telemetry:           rec,
 	})
