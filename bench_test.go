@@ -601,7 +601,7 @@ func BenchmarkScheduleAblation(b *testing.B) {
 				for s := 0; s < epochs*eng.StepsPerEpoch(); s++ {
 					eng.Step()
 				}
-				acc = eng.Evaluate(32)
+				acc, _ = eng.Evaluate(32)
 				eng.Close()
 			}
 			b.ReportMetric(acc, "val-top1")

@@ -74,6 +74,7 @@ func main() {
 		snapEvery  = flag.Int("snapshot-every", 0, "write a training-state snapshot every N steps (0 = off; needs -snapshot-dir)")
 		keepLast   = flag.Int("keep-last", 3, "retain only the N most recent snapshots (0 = keep all)")
 		resume     = flag.String("resume", "", "resume bit-for-bit from a snapshot file or directory (newest readable snapshot wins)")
+		elastic    = flag.Bool("elastic", false, "with -resume: reshard the snapshot to this run's -replicas (global batch preserved; -per-replica-batch and -grad-accum become factorization hints)")
 		killAt     = flag.Int("kill-at-step", 0, "crash the process (exit 3) after this global step — preemption drill for the resume path (0 = off)")
 		telJSONL   = flag.String("telemetry-jsonl", "", "stream per-step/epoch/eval telemetry records to this JSONL file")
 		telCSV     = flag.String("telemetry-csv", "", "stream per-step telemetry rows to this CSV file")
@@ -191,8 +192,16 @@ func main() {
 	if *snapEvery > 0 {
 		opts = append(opts, train.WithSnapshotEvery(*snapEvery))
 	}
+	if *elastic && *resume == "" {
+		fmt.Fprintln(os.Stderr, "effnettrain: -elastic needs -resume (there is no snapshot to reshard)")
+		os.Exit(2)
+	}
 	if *resume != "" {
-		opts = append(opts, train.WithResume(*resume))
+		if *elastic {
+			opts = append(opts, train.WithElasticResume(*resume))
+		} else {
+			opts = append(opts, train.WithResume(*resume))
+		}
 	}
 	if *killAt > 0 {
 		opts = append(opts, train.WithCallbacks(train.Funcs{

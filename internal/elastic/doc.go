@@ -1,0 +1,24 @@
+// Package elastic reshards training snapshots across world sizes.
+//
+// A replica.Engine snapshot is taken at one topology: D ranks, each holding
+// replica-identical state (weights, optimizer slots, EMA shadow) plus private
+// per-rank state (BN running statistics, RNG cursors). A plain resume
+// requires the identical topology back. Elastic resharding relaxes exactly
+// that: Reshard rewrites a world-D_old snapshot into one restorable at
+// world D_new, and Plan solves the (per-replica batch, grad accumulation)
+// factorization that keeps the global batch — and with it the optimizer
+// trajectory, LR schedule and per-step sample sets — unchanged.
+//
+// The contract is deliberately two-tier. Resuming at the original world is
+// bit-for-bit (Reshard returns the snapshot untouched). Resuming at a new
+// world is statistically continuous: the same samples flow through the same
+// model under the same schedule, but fp summation order and per-rank
+// randomness move with the topology, so trajectories agree within floating-
+// point tolerance, not bitwise. Per-rank state is re-partitioned along the
+// strided data shard's residue classes: BN statistics merge sample-weighted
+// (variance via the law of total variance) on a coalesce and replicate on a
+// split; RNG streams re-seed by the new data coordinate.
+//
+// Hybrid (model-sharded) snapshots do not reshard — the model axis has no
+// residue-class structure to re-partition — and are rejected on either side.
+package elastic

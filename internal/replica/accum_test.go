@@ -31,10 +31,10 @@ func TestGradAccumStaysInSyncAndLearns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first := e.Step()
+	first := mustStep(t, e)
 	var last StepResult
 	for i := 0; i < 3*e.StepsPerEpoch(); i++ {
-		last = e.Step()
+		last = mustStep(t, e)
 	}
 	if d := e.WeightsInSync(); d != "" {
 		t.Fatalf("replicas diverged with grad accumulation: %s", d)
@@ -66,8 +66,8 @@ func TestGradAccumMatchesLargerBatchGradient(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ra := ea.Step()
-	rb := eb.Step()
+	ra := mustStep(t, ea)
+	rb := mustStep(t, eb)
 	// Same 16 samples in both cases; losses must be near-identical (they
 	// differ only via BN batch statistics).
 	if math.Abs(ra.Loss-rb.Loss) > 0.05*(1+rb.Loss) {
@@ -89,7 +89,7 @@ func TestEMAEvaluationPath(t *testing.T) {
 	}
 	// Evaluation must not corrupt the live weights (swap must restore).
 	before := e.Replica(0).Model.Params()[0].Data().Clone()
-	acc := e.Evaluate(16)
+	acc := mustEval(t, e, 16)
 	after := e.Replica(0).Model.Params()[0].Data()
 	for i := range before.Data() {
 		if before.Data()[i] != after.Data()[i] {

@@ -23,7 +23,7 @@ func TestBucketedOverlapKeepsReplicasInSync(t *testing.T) {
 		t.Fatalf("expected many buckets at 256 bytes, got %d", len(e.buckets))
 	}
 	for i := 0; i < 3; i++ {
-		res := e.Step()
+		res := mustStep(t, e)
 		if math.IsNaN(res.Loss) {
 			t.Fatalf("step %d: loss is NaN", i)
 		}
@@ -53,7 +53,7 @@ func TestBucketedMatchesUnbucketedWithinTolerance(t *testing.T) {
 		t.Fatalf("expected a single bucket, got %d", len(b.buckets))
 	}
 	for i := 0; i < 2; i++ {
-		ra, rb := a.Step(), b.Step()
+		ra, rb := mustStep(t, a), mustStep(t, b)
 		if math.Abs(ra.Loss-rb.Loss) > 1e-3*(1+math.Abs(rb.Loss)) {
 			t.Fatalf("step %d: bucketed loss %v vs unbucketed %v", i, ra.Loss, rb.Loss)
 		}
@@ -99,10 +99,10 @@ func TestEngineWithTorus2DCollective(t *testing.T) {
 	if got := e.Algorithm(); got != "torus2d(2x2)" {
 		t.Fatalf("Algorithm() = %q, want torus2d(2x2)", got)
 	}
-	first := e.Step()
+	first := mustStep(t, e)
 	var last StepResult
 	for i := 0; i < 7; i++ {
-		last = e.Step()
+		last = mustStep(t, e)
 	}
 	if d := e.WeightsInSync(); d != "" {
 		t.Fatalf("replicas diverged under torus2d: %s", d)
@@ -110,7 +110,7 @@ func TestEngineWithTorus2DCollective(t *testing.T) {
 	if math.IsNaN(last.Loss) || last.Loss >= first.Loss*1.5 {
 		t.Fatalf("torus2d training went wrong: loss %v -> %v", first.Loss, last.Loss)
 	}
-	if acc := e.Evaluate(16); acc < 0 || acc > 1 {
+	if acc := mustEval(t, e, 16); acc < 0 || acc > 1 {
 		t.Fatalf("eval accuracy %v out of range", acc)
 	}
 }
@@ -158,7 +158,7 @@ func TestCollectiveChoiceDoesNotChangeResults(t *testing.T) {
 		}
 		var last StepResult
 		for i := 0; i < 2; i++ {
-			last = e.Step()
+			last = mustStep(t, e)
 		}
 		losses[prov.Name()] = last.Loss
 	}

@@ -23,8 +23,8 @@ func TestEngineFullyDeterministic(t *testing.T) {
 	}
 	a, b := mk(), mk()
 	for i := 0; i < 4; i++ {
-		ra := a.Step()
-		rb := b.Step()
+		ra := mustStep(t, a)
+		rb := mustStep(t, b)
 		if ra.Loss != rb.Loss || ra.Accuracy != rb.Accuracy {
 			t.Fatalf("step %d: runs diverged (loss %v vs %v, acc %v vs %v)", i, ra.Loss, rb.Loss, ra.Accuracy, rb.Accuracy)
 		}
@@ -52,7 +52,7 @@ func TestDifferentSeedsDiverge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ra, rb := a.Step(), b.Step()
+	ra, rb := mustStep(t, a), mustStep(t, b)
 	if ra.Loss == rb.Loss {
 		t.Fatal("different seeds produced identical losses (suspicious)")
 	}

@@ -1,0 +1,35 @@
+package replica
+
+import "testing"
+
+// mustStep runs one global step, failing the test on a poisoned or broken
+// engine — the common case for tests that assert on trajectories rather than
+// on Step's error path.
+func mustStep(t testing.TB, e *Engine) StepResult {
+	t.Helper()
+	res, err := e.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// mustEval evaluates with the distributed loop, failing the test on error.
+func mustEval(t testing.TB, e *Engine, samplesPerReplica int) float64 {
+	t.Helper()
+	acc, err := e.Evaluate(samplesPerReplica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acc
+}
+
+// mustEvalSerial evaluates serially on rank 0, failing the test on error.
+func mustEvalSerial(t testing.TB, e *Engine, maxSamples int) (float64, int) {
+	t.Helper()
+	acc, n, err := e.EvaluateSerial(maxSamples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acc, n
+}

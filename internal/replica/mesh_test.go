@@ -30,8 +30,8 @@ func TestMeshM1BitForBit(t *testing.T) {
 	}
 	defer meshed.Close()
 	for i := 0; i < 3; i++ {
-		rp := plain.Step()
-		rm := meshed.Step()
+		rp := mustStep(t, plain)
+		rm := mustStep(t, meshed)
 		if rp.Loss != rm.Loss {
 			t.Fatalf("step %d: plain loss %v != 4x1 mesh loss %v", i, rp.Loss, rm.Loss)
 		}
@@ -69,8 +69,8 @@ func TestMeshHybridEquivalence(t *testing.T) {
 		t.Fatalf("2x2 mesh global batch = %d, want 16 (model axis must not multiply data)", gb)
 	}
 	for i := 0; i < 2; i++ {
-		rh := hybrid.Step()
-		rs := single.Step()
+		rh := mustStep(t, hybrid)
+		rs := mustStep(t, single)
 		if math.Abs(rh.Loss-rs.Loss) > 1e-3*(1+math.Abs(rs.Loss)) {
 			t.Fatalf("step %d: hybrid loss %v vs single loss %v", i, rh.Loss, rs.Loss)
 		}

@@ -115,7 +115,7 @@ func TestOverlapVsSerializedBitwise(t *testing.T) {
 	}
 	defer b.Close()
 	for i := 0; i < 4; i++ {
-		ra, rb := a.Step(), b.Step()
+		ra, rb := mustStep(t, a), mustStep(t, b)
 		if ra.Loss != rb.Loss || ra.Accuracy != rb.Accuracy {
 			t.Fatalf("step %d: overlapped %+v vs serialized %+v", i, ra, rb)
 		}

@@ -33,7 +33,7 @@ func TestPrefetchMatchesInline(t *testing.T) {
 	}
 	steps := pre.StepsPerEpoch() + 2 // cross an epoch boundary
 	for i := 0; i < steps; i++ {
-		rp, ri := pre.Step(), inline.Step()
+		rp, ri := mustStep(t, pre), mustStep(t, inline)
 		if rp.Loss != ri.Loss || rp.Accuracy != ri.Accuracy {
 			t.Fatalf("step %d: prefetched (loss %v acc %v) != inline (loss %v acc %v)", i, rp.Loss, rp.Accuracy, ri.Loss, ri.Accuracy)
 		}
@@ -64,17 +64,17 @@ func TestPrefetchedEvalMatchesInline(t *testing.T) {
 	// Ragged cap: 10 samples per replica at batch 4 forces a partial final
 	// batch on both paths.
 	for _, cap := range []int{0, 10} {
-		if a, b := pre.Evaluate(cap), inline.Evaluate(cap); a != b {
+		if a, b := mustEval(t, pre, cap), mustEval(t, inline, cap); a != b {
 			t.Fatalf("Evaluate(%d): prefetched %v != inline %v", cap, a, b)
 		}
 	}
-	accP, nP := pre.EvaluateSerial(10)
-	accI, nI := inline.EvaluateSerial(10)
+	accP, nP := mustEvalSerial(t, pre, 10)
+	accI, nI := mustEvalSerial(t, inline, 10)
 	if accP != accI || nP != nI {
 		t.Fatalf("EvaluateSerial: prefetched (%v, %d) != inline (%v, %d)", accP, nP, accI, nI)
 	}
 	// Reusing the eval pool across calls must not change results.
-	if a, b := pre.Evaluate(10), inline.Evaluate(10); a != b {
+	if a, b := mustEval(t, pre, 10), mustEval(t, inline, 10); a != b {
 		t.Fatalf("second Evaluate: prefetched %v != inline %v", a, b)
 	}
 }
@@ -93,7 +93,7 @@ func TestEvaluateWithEmptyValShards(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		acc := e.Evaluate(0)
+		acc := mustEval(t, e, 0)
 		if acc < 0 || acc > 1 {
 			t.Fatalf("prefetch=%d: eval accuracy %v out of range", prefetch, acc)
 		}

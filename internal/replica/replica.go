@@ -169,6 +169,11 @@ type Engine struct {
 	// lazily at the first Step so a state restore never pays for batches
 	// prefetched at position (0,0) only to be thrown away.
 	pipesUp bool
+	// failed records a state restore that died mid-apply, leaving a mix of
+	// old and new state across the ranks. A poisoned engine refuses to
+	// train, evaluate or snapshot (see errPoisoned) — the failure must not
+	// be trainable-through.
+	failed error
 	// samples holds one reusable per-replica phase-timing sample per rank
 	// (nil when telemetry is off, which disables all timing).
 	samples []telemetry.StepSample
@@ -640,8 +645,12 @@ func (e *Engine) Replica(r int) *Replica { return e.replicas[r] }
 // Step executes one synchronized global training step: every replica runs
 // forward/backward on its shard of the batch, gradients are all-reduced in
 // overlapped buckets through the configured collective and averaged, and
-// each replica applies the identical optimizer update.
-func (e *Engine) Step() StepResult {
+// each replica applies the identical optimizer update. It refuses to run on
+// an engine poisoned by a failed state restore.
+func (e *Engine) Step() (StepResult, error) {
+	if e.failed != nil {
+		return StepResult{}, e.errPoisoned()
+	}
 	e.ensurePipelines()
 	epochF := float64(e.stepCount) / float64(e.stepsPerEpoch)
 	lr := e.cfg.Schedule.LR(epochF)
@@ -691,7 +700,7 @@ func (e *Engine) Step() StepResult {
 			Starved:     starved,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // trainStep is one replica's share of a global step. dataWorld is the mesh's
@@ -897,8 +906,13 @@ func (r *Replica) onGradReady(v *autograd.Value) {
 // Evaluate runs distributed evaluation (§3.3): every replica scores its
 // shard of the validation split in eval mode, and the correct/total counts
 // are all-reduced. maxSamplesPerReplica caps work for quick checks
-// (0 = full shard).
-func (e *Engine) Evaluate(maxSamplesPerReplica int) float64 {
+// (0 = full shard). It refuses to run on an engine poisoned by a failed
+// state restore — half-restored weights would score as a model nobody
+// trained.
+func (e *Engine) Evaluate(maxSamplesPerReplica int) (float64, error) {
+	if e.failed != nil {
+		return 0, e.errPoisoned()
+	}
 	accs := make([]float64, len(e.replicas))
 	var wg sync.WaitGroup
 	for _, rep := range e.replicas {
@@ -909,7 +923,7 @@ func (e *Engine) Evaluate(maxSamplesPerReplica int) float64 {
 		}(rep)
 	}
 	wg.Wait()
-	return accs[0]
+	return accs[0], nil
 }
 
 // ValLen returns the size of this replica's validation shard — the serial
@@ -921,9 +935,12 @@ func (r *Replica) ValLen() int { return r.val.Len() }
 // serialized-evaluation structure of TPUEstimator (§3.3). It scores the same
 // model Evaluate would: EMA shadow weights when enabled, eval mode, the
 // training precision policy. Returns the accuracy and the number of images
-// actually scored.
-func (e *Engine) EvaluateSerial(maxSamples int) (float64, int) {
+// actually scored. Like Evaluate, it refuses to run on a poisoned engine.
+func (e *Engine) EvaluateSerial(maxSamples int) (float64, int, error) {
 	r := e.replicas[0]
+	if e.failed != nil {
+		return 0, 0, e.errPoisoned()
+	}
 	if r.ema != nil && r.ema.Steps() > 0 {
 		mustSwap(r.ema, r.Model.Params())
 		defer mustSwap(r.ema, r.Model.Params())
@@ -934,13 +951,13 @@ func (e *Engine) EvaluateSerial(maxSamples int) (float64, int) {
 		n = maxSamples
 	}
 	if n == 0 {
-		return 0, 0
+		return 0, 0, nil
 	}
 	correct, total := r.scoreShard(shard, n)
 	if total == 0 {
-		return 0, 0
+		return 0, 0, nil
 	}
-	return float64(correct) / float64(total), total
+	return float64(correct) / float64(total), total, nil
 }
 
 // scoreShard scores the first n validation samples of shard in eval mode and

@@ -100,8 +100,8 @@ func TestDataParallelEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 2; i++ {
-		rm := multi.Step()
-		rs := single.Step()
+		rm := mustStep(t, multi)
+		rs := mustStep(t, single)
 		if math.Abs(rm.Loss-rs.Loss) > 1e-3*(1+math.Abs(rs.Loss)) {
 			t.Fatalf("step %d: multi loss %v vs single loss %v", i, rm.Loss, rs.Loss)
 		}
@@ -142,7 +142,7 @@ func TestStepMetricsSane(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := e.Step()
+	r := mustStep(t, e)
 	if r.Loss <= 0 || math.IsNaN(r.Loss) {
 		t.Fatalf("loss = %v", r.Loss)
 	}
@@ -160,7 +160,7 @@ func TestEvaluateDistributed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	acc := e.Evaluate(8)
+	acc := mustEval(t, e, 8)
 	if acc < 0 || acc > 1 {
 		t.Fatalf("eval accuracy = %v out of range", acc)
 	}
@@ -190,7 +190,7 @@ func TestMiniTrainingLearns(t *testing.T) {
 	var accSum float64
 	var accN int
 	for i := 0; i < steps; i++ {
-		last = e.Step()
+		last = mustStep(t, e)
 		if i >= steps-8 {
 			accSum += last.Accuracy
 			accN++

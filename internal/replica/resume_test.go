@@ -89,11 +89,11 @@ func TestResumeBitForBit(t *testing.T) {
 	}
 	var refEvals, resEvals []float64
 	for s := 0; s < total; s++ {
-		ref.Step()
-		refEvals = append(refEvals, ref.Evaluate(8))
+		mustStep(t, ref)
+		refEvals = append(refEvals, mustEval(t, ref, 8))
 		if s < killAt {
-			interrupted.Step()
-			resEvals = append(resEvals, interrupted.Evaluate(8))
+			mustStep(t, interrupted)
+			resEvals = append(resEvals, mustEval(t, interrupted, 8))
 		}
 	}
 	snap, err := interrupted.CaptureState()
@@ -115,8 +115,8 @@ func TestResumeBitForBit(t *testing.T) {
 		t.Fatalf("restored step count %d, want %d", resumed.StepCount(), killAt)
 	}
 	for s := killAt; s < total; s++ {
-		resumed.Step()
-		resEvals = append(resEvals, resumed.Evaluate(8))
+		mustStep(t, resumed)
+		resEvals = append(resEvals, mustEval(t, resumed, 8))
 	}
 
 	// Bit-for-bit identical eval trajectory...
@@ -203,7 +203,6 @@ func TestRestoreRejectsConfigMismatch(t *testing.T) {
 
 	for name, mutate := range map[string]func(*Config){
 		"seed":      func(c *Config) { c.Seed = 99 },
-		"world":     func(c *Config) { c.World = 2 },
 		"optimizer": func(c *Config) { c.OptimizerName = "sgd" },
 		"batch":     func(c *Config) { c.PerReplicaBatch = 2 },
 		"bn-group":  func(c *Config) { c.BNGroupSize = 4 },
@@ -220,6 +219,25 @@ func TestRestoreRejectsConfigMismatch(t *testing.T) {
 		other.Close()
 		if err == nil || !strings.Contains(err.Error(), "configuration does not match") {
 			t.Fatalf("%s mismatch restore = %v, want configuration error", name, err)
+		}
+	}
+
+	// A pure world change is the one mismatch with a remedy: the error must
+	// name both worlds and point at elastic resharding.
+	cfg := resumeEngineConfig()
+	cfg.World = 2
+	other, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = other.RestoreState(snap)
+	other.Close()
+	if err == nil {
+		t.Fatal("world-4 snapshot restored into world-2 engine")
+	}
+	for _, want := range []string{"world 4", "world 2", "elastic"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("world mismatch error %q does not mention %q", err, want)
 		}
 	}
 }

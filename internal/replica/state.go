@@ -19,6 +19,15 @@ import (
 // shadow bitwise identical across replicas (the WeightsInSync invariant), so
 // those are captured once from rank 0 and restored into every rank; only BN
 // running statistics and RNG cursors are captured per replica.
+//
+// The configuration fingerprint is split in two. Trajectory fields pin what
+// is being trained (model, optimizer, seed, data, the global batch);
+// topology fields pin how the work is laid out across ranks (world size,
+// per-replica batch, accumulation, BN groups, collective). A plain resume
+// requires both to match bit-for-bit; an elastic resume (internal/elastic)
+// validates only the trajectory and rewrites the topology — world-changed
+// resume is statistically continuous, not bit-for-bit, because fp summation
+// order and per-rank RNG streams move with the topology.
 
 // Snapshot component keys owned by the engine. "model" is owned by the
 // checkpoint.ModelState codec; callers (the train package) may add further
@@ -54,6 +63,10 @@ func (e *Engine) StateComponents() []string {
 // function and cannot be fingerprinted — resuming with a different schedule
 // is the caller's responsibility (the train package rebuilds it from the
 // same options).
+//
+// This is the legacy single-string form, still written so snapshots restore
+// on older binaries; new code validates TrajectoryFingerprint and
+// TopologyFingerprint, whose union covers the same fields.
 func (e *Engine) ConfigFingerprint() string {
 	c := e.cfg
 	d := c.Dataset.Config()
@@ -74,17 +87,71 @@ func (e *Engine) ConfigFingerprint() string {
 	return fp
 }
 
+// TrajectoryFingerprint renders the configuration fields that pin the
+// training trajectory independent of how it is partitioned across ranks:
+// what model trains on what data with what arithmetic, at what global batch.
+// The batch appears only as its world-independent product — the strided data
+// shard maps global step s to the same sample set under any (world, batch,
+// accum) factorization of the same global batch, which is what makes elastic
+// resharding statistically sound. Two engines with equal trajectory
+// fingerprints train the same trajectory up to fp summation order.
+func (e *Engine) TrajectoryFingerprint() string {
+	return e.trajectoryFP(e.GlobalBatch())
+}
+
+// trajectoryFP is TrajectoryFingerprint with the global batch injected —
+// RestoreState uses it to ask "would the trajectories match if only the
+// batch factorization differed?" when shaping the world-mismatch error.
+func (e *Engine) trajectoryFP(globalBatch int) string {
+	c := e.cfg
+	d := c.Dataset.Config()
+	return fmt.Sprintf(
+		"model=%s globalbatch=%d opt=%s wd=%g conv_bf16=%t smooth=%g seed=%d dropout=%g dropconnect=%g augment=%t bnmomentum=%g ema=%g data[classes=%d train=%d val=%d res=%d noise=%g seed=%d]",
+		c.Model, globalBatch, c.OptimizerName, c.WeightDecay,
+		c.Precision.ConvBF16, c.LabelSmoothing, c.Seed,
+		c.DropoutOverride, c.DropConnectOverride, !c.NoAugment, c.BNMomentum, c.EMADecay,
+		d.NumClasses, d.TrainSize, d.ValSize, d.Resolution, d.NoiseStd, d.Seed,
+	)
+}
+
+// TopologyFingerprint renders the configuration fields that pin how the
+// trajectory is laid out across ranks: the batch factorization, BN grouping,
+// and the reduction machinery (collective algorithm, bucket size, mesh).
+// These fields change fp summation order and per-rank state partitioning but
+// not the trajectory's statistics — exactly what elastic resharding is
+// allowed to rewrite.
+func (e *Engine) TopologyFingerprint() string {
+	c := e.cfg
+	return fmt.Sprintf(
+		"world=%d batch=%d accum=%d bngroup=%d slice=%dx%d collective=%s bucket=%d mesh=%s",
+		c.World, c.PerReplicaBatch, c.GradAccumSteps, c.BNGroupSize,
+		c.Slice.Rows, c.Slice.Cols, e.replicas[0].coll.Algorithm(), c.GradBucketBytes, c.Mesh,
+	)
+}
+
 // CaptureState snapshots the engine's complete training state. Call it at a
 // step boundary (between Step calls — e.g. from a training-loop hook); the
 // returned snapshot deep-copies everything, so it may be handed to an async
 // writer while training continues.
 func (e *Engine) CaptureState() (*checkpoint.Snapshot, error) {
+	if e.failed != nil {
+		return nil, e.errPoisoned()
+	}
 	snap := checkpoint.NewSnapshot()
 
 	eng := checkpoint.Component{}
 	eng.PutI64("step", int64(e.stepCount))
 	eng.PutStr("config", e.ConfigFingerprint())
 	eng.PutStr("mesh", e.cfg.Mesh.String())
+	// The split fingerprint plus the raw geometry scalars: what elastic
+	// resharding validates (trajectory), rewrites (topology, world, batch,
+	// accum) and weights BN statistics by (trainsize → per-rank shard sizes).
+	eng.PutStr("trajectory", e.TrajectoryFingerprint())
+	eng.PutStr("topology", e.TopologyFingerprint())
+	eng.PutI64("world", int64(e.cfg.World))
+	eng.PutI64("batch", int64(e.cfg.PerReplicaBatch))
+	eng.PutI64("accum", int64(e.cfg.GradAccumSteps))
+	eng.PutI64("trainsize", int64(e.cfg.Dataset.Config().TrainSize))
 	if err := snap.Add(engineComponent, eng); err != nil {
 		return nil, err
 	}
@@ -124,19 +191,115 @@ func (e *Engine) CaptureState() (*checkpoint.Snapshot, error) {
 	return snap, nil
 }
 
+// errPoisoned renders the descriptive error a poisoned engine returns from
+// every training entry point.
+func (e *Engine) errPoisoned() error {
+	return fmt.Errorf("replica: engine unusable after a failed state restore (%v); build a fresh engine and restore again", e.failed)
+}
+
+// validateFingerprint checks the snapshot's configuration against the
+// engine's before any state is touched. Three snapshot generations exist:
+// legacy (single "config" string — full bit-for-bit equality), split
+// ("trajectory" + "topology" — both must match, with a friendlier error when
+// only the world size differs), and elastic-resharded ("elastic" marker —
+// trajectory plus the rewritten geometry must match; the remaining topology
+// fields are free to differ, since resharding already forfeits bit-for-bit
+// continuity).
+func (e *Engine) validateFingerprint(eng checkpoint.Component) error {
+	savedTraj, trajErr := eng.Str("trajectory")
+	if trajErr != nil {
+		// Pre-split snapshot: the single-string comparison it was taken under.
+		savedCfg, err := eng.Str("config")
+		if err != nil {
+			return err
+		}
+		if cur := e.ConfigFingerprint(); savedCfg != cur {
+			return fmt.Errorf("replica: snapshot configuration does not match engine:\n  snapshot: %s\n  engine:   %s", savedCfg, cur)
+		}
+		return nil
+	}
+
+	if _, elastic := eng["elastic"]; elastic {
+		// A resharded snapshot was rewritten for one specific target
+		// geometry; the engine must be exactly that target. Trajectory
+		// equality includes the preserved global batch.
+		if savedTraj != e.TrajectoryFingerprint() {
+			return fmt.Errorf("replica: resharded snapshot configuration does not match engine (trajectory fields):\n  snapshot: %s\n  engine:   %s", savedTraj, e.TrajectoryFingerprint())
+		}
+		for _, g := range []struct {
+			key string
+			cur int
+		}{
+			{"world", e.cfg.World},
+			{"batch", e.cfg.PerReplicaBatch},
+			{"accum", e.cfg.GradAccumSteps},
+		} {
+			v, err := eng.I64(g.key)
+			if err != nil {
+				return err
+			}
+			if int(v) != g.cur {
+				return fmt.Errorf("replica: snapshot was resharded for %s=%d but the engine runs %s=%d", g.key, v, g.key, g.cur)
+			}
+		}
+		return nil
+	}
+
+	// Friendly world-mismatch detection runs before the generic trajectory
+	// diff: a pure data-parallel world change (same model, data, seed — only
+	// the rank layout moved) deserves a message naming the two world sizes
+	// and the escape hatch, not two walls of fingerprint text. Comparing
+	// against trajectoryFP at the *snapshot's* global batch makes the check
+	// insensitive to the batch refactorization a world change implies.
+	savedWorld, worldErr := eng.I64("world")
+	if worldErr == nil && int(savedWorld) != e.cfg.World && e.cfg.Mesh.Model == 1 {
+		b, berr := eng.I64("batch")
+		a, aerr := eng.I64("accum")
+		if berr == nil && aerr == nil && savedTraj == e.trajectoryFP(int(savedWorld*b*a)) {
+			return fmt.Errorf(
+				"replica: snapshot was taken at world %d but the engine runs world %d; a plain resume only restores into an identical topology — resume with elastic resharding (effnettrain -resume -elastic, or elastic.Reshard) to re-partition per-rank state across the new world",
+				savedWorld, e.cfg.World)
+		}
+	}
+	if cur := e.TrajectoryFingerprint(); savedTraj != cur {
+		return fmt.Errorf("replica: snapshot configuration does not match engine:\n  snapshot: %s\n  engine:   %s", savedTraj, cur)
+	}
+	savedTopo, err := eng.Str("topology")
+	if err != nil {
+		return err
+	}
+	if cur := e.TopologyFingerprint(); savedTopo != cur {
+		return fmt.Errorf("replica: snapshot topology configuration does not match engine (the trajectory is compatible; elastic resharding can adapt the snapshot — effnettrain -resume -elastic, or elastic.Reshard):\n  snapshot: %s\n  engine:   %s", savedTopo, cur)
+	}
+	return nil
+}
+
+// replicaRestore is one rank's validated per-replica state, staged during
+// RestoreState's validation pass and applied only after everything checked
+// out.
+type replicaRestore struct {
+	rc       checkpoint.Component
+	augDraws int64
+	ctxDraws int64
+}
+
 // RestoreState overwrites the engine's entire training state from a
 // snapshot: weights, BN statistics (per replica), optimizer slots, EMA
 // shadow, RNG stream positions, step count, and the input-pipeline cursors
 // (pipelines are restarted at the restored position). The snapshot must come
-// from an engine with an identical ConfigFingerprint; every component the
-// engine expects must be present and internally valid. On error the engine
-// may be left partially restored — rebuild it rather than training on.
+// from an engine with a matching configuration (see validateFingerprint);
+// every component the engine expects must be present and internally valid.
+//
+// Validation runs before any mutation, so a rejected snapshot leaves the
+// engine untouched and usable. If applying the state fails partway despite
+// that (a malformed blob the validation pass could not see), the engine is
+// poisoned: Step, Evaluate and CaptureState return a descriptive error until
+// a fresh engine is built — nobody trains on half-restored state.
 func (e *Engine) RestoreState(snap *checkpoint.Snapshot) error {
-	eng, err := snap.Component(engineComponent)
-	if err != nil {
-		return err
+	if e.failed != nil {
+		return e.errPoisoned()
 	}
-	savedCfg, err := eng.Str("config")
+	eng, err := snap.Component(engineComponent)
 	if err != nil {
 		return err
 	}
@@ -157,8 +320,8 @@ func (e *Engine) RestoreState(snap *checkpoint.Snapshot) error {
 			}
 		}
 	}
-	if cur := e.ConfigFingerprint(); savedCfg != cur {
-		return fmt.Errorf("replica: snapshot configuration does not match engine:\n  snapshot: %s\n  engine:   %s", savedCfg, cur)
+	if err := e.validateFingerprint(eng); err != nil {
+		return err
 	}
 	step, err := eng.I64("step")
 	if err != nil {
@@ -184,6 +347,52 @@ func (e *Engine) RestoreState(snap *checkpoint.Snapshot) error {
 		return fmt.Errorf("replica: snapshot has EMA state but the engine runs without EMA")
 	}
 
+	// Validation pass: every per-replica component must be present with
+	// correctly shaped BN blobs and sane RNG cursors before anything mutates.
+	states := make([]replicaRestore, len(e.replicas))
+	for r, rep := range e.replicas {
+		rc, err := snap.Component(fmt.Sprintf(replicaComponent, r))
+		if err != nil {
+			return err
+		}
+		for i, bn := range rep.Model.BatchNorms() {
+			if _, err := rc.F32(fmt.Sprintf("bn/%d/mean", i), bn.RunningMean.Shape()); err != nil {
+				return fmt.Errorf("replica: rank %d: %w", r, err)
+			}
+			if _, err := rc.F32(fmt.Sprintf("bn/%d/var", i), bn.RunningVar.Shape()); err != nil {
+				return fmt.Errorf("replica: rank %d: %w", r, err)
+			}
+		}
+		augDraws, err := rc.I64("augdraws")
+		if err != nil {
+			return fmt.Errorf("replica: rank %d: %w", r, err)
+		}
+		ctxDraws, err := rc.I64("ctxdraws")
+		if err != nil {
+			return fmt.Errorf("replica: rank %d: %w", r, err)
+		}
+		if augDraws < 0 || ctxDraws < 0 {
+			return fmt.Errorf("replica: rank %d: negative RNG cursor", r)
+		}
+		states[r] = replicaRestore{rc: rc, augDraws: augDraws, ctxDraws: ctxDraws}
+	}
+
+	// Mutation pass: from here on a failure leaves some ranks restored and
+	// others not, so it poisons the engine rather than trusting the caller
+	// to notice "rebuild it" in a doc comment.
+	if err := e.applyState(snap, oc, ec, states); err != nil {
+		e.failed = err
+		return e.errPoisoned()
+	}
+	e.stepCount = int(step)
+	e.pipesUp = false
+	return nil
+}
+
+// applyState performs RestoreState's mutation phase over pre-validated
+// components. Any error here means the engine holds a mix of old and new
+// state.
+func (e *Engine) applyState(snap *checkpoint.Snapshot, oc, ec checkpoint.Component, states []replicaRestore) error {
 	for r, rep := range e.replicas {
 		// Weights, optimizer slots and EMA shadow are replica-identical;
 		// restore the same components into each rank's own storage.
@@ -199,36 +408,22 @@ func (e *Engine) RestoreState(snap *checkpoint.Snapshot) error {
 			}
 		}
 
-		rc, err := snap.Component(fmt.Sprintf(replicaComponent, r))
-		if err != nil {
-			return err
-		}
+		st := states[r]
 		for i, bn := range rep.Model.BatchNorms() {
-			mean, err := rc.F32(fmt.Sprintf("bn/%d/mean", i), bn.RunningMean.Shape())
+			mean, err := st.rc.F32(fmt.Sprintf("bn/%d/mean", i), bn.RunningMean.Shape())
 			if err != nil {
 				return fmt.Errorf("replica: rank %d: %w", r, err)
 			}
-			variance, err := rc.F32(fmt.Sprintf("bn/%d/var", i), bn.RunningVar.Shape())
+			variance, err := st.rc.F32(fmt.Sprintf("bn/%d/var", i), bn.RunningVar.Shape())
 			if err != nil {
 				return fmt.Errorf("replica: rank %d: %w", r, err)
 			}
 			copy(bn.RunningMean.Data(), mean)
 			copy(bn.RunningVar.Data(), variance)
 		}
-		augDraws, err := rc.I64("augdraws")
-		if err != nil {
-			return fmt.Errorf("replica: rank %d: %w", r, err)
-		}
-		ctxDraws, err := rc.I64("ctxdraws")
-		if err != nil {
-			return fmt.Errorf("replica: rank %d: %w", r, err)
-		}
-		if augDraws < 0 || ctxDraws < 0 {
-			return fmt.Errorf("replica: rank %d: negative RNG cursor", r)
-		}
 		// RNG streams are seeded by the data-axis coordinate (model-group
 		// members share a stream), matching the seeding New performs.
-		rep.installRNGs(ctxSeed(e.cfg.Seed, rep.dataRank), uint64(ctxDraws), augSeed(e.cfg.Seed, rep.dataRank), uint64(augDraws))
+		rep.installRNGs(ctxSeed(e.cfg.Seed, rep.dataRank), uint64(st.ctxDraws), augSeed(e.cfg.Seed, rep.dataRank), uint64(st.augDraws))
 		// Any running pipeline holds the pre-restore cursor; stop it and
 		// let the next Step lazily start a fresh one at the restored
 		// micro-batch position (ensurePipelines).
@@ -237,7 +432,5 @@ func (e *Engine) RestoreState(snap *checkpoint.Snapshot) error {
 			rep.pipe = nil
 		}
 	}
-	e.stepCount = int(step)
-	e.pipesUp = false
 	return nil
 }

@@ -56,7 +56,7 @@ func TestEngineTelemetry(t *testing.T) {
 	const n = 3
 	var results []StepResult
 	for i := 0; i < n; i++ {
-		results = append(results, eng.Step())
+		results = append(results, mustStep(t, eng))
 	}
 	if len(steps) != n {
 		t.Fatalf("recorded %d steps, want %d", len(steps), n)
@@ -107,7 +107,7 @@ func TestEngineTelemetryPrefetchMatchesInline(t *testing.T) {
 	instr := newTelemetryEngine(t, telemetry.NewRecorder(), 2)
 	serial := newTelemetryEngine(t, telemetry.NewRecorder(), 2, func(c *Config) { c.NoBackwardOverlap = true })
 	for i := 0; i < 3; i++ {
-		a, b, c := plain.Step(), instr.Step(), serial.Step()
+		a, b, c := mustStep(t, plain), mustStep(t, instr), mustStep(t, serial)
 		if a.Loss != b.Loss || a.Accuracy != b.Accuracy {
 			t.Fatalf("step %d: instrumented trajectory diverged: %+v vs %+v", i, a, b)
 		}
@@ -140,7 +140,7 @@ func TestEngineTelemetryEvaluate(t *testing.T) {
 	rec := telemetry.NewRecorder()
 	eng := newTelemetryEngine(t, rec, 2)
 	eng.Step()
-	acc := eng.Evaluate(16)
+	acc := mustEval(t, eng, 16)
 	if acc < 0 || acc > 1 {
 		t.Fatalf("accuracy %g out of range", acc)
 	}

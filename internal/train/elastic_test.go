@@ -1,0 +1,149 @@
+package train
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSessionElasticResumeAcrossWorlds: a world-2 session's snapshot resumes
+// into a world-1 session under WithElasticResume, with the global batch — and
+// therefore the LR schedule fingerprint — preserved by re-factorizing the
+// per-replica batch and accumulation.
+func TestSessionElasticResumeAcrossWorlds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "world2.ckpt")
+	a, err := New(resumeOpts(WithCallbacks(StopAfterStep(3)))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Snapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	gb := a.GlobalBatch()
+
+	// A plain resume at the wrong world must point at the escape hatch...
+	_, err = New(resumeOpts(WithWorld(1), WithBNGroup(1), WithResume(path))...)
+	if err == nil || !strings.Contains(err.Error(), "elastic") {
+		t.Fatalf("plain world-1 resume of a world-2 snapshot = %v, want error pointing at elastic resharding", err)
+	}
+
+	// ...and the elastic resume must take it.
+	b, err := New(resumeOpts(WithWorld(1), WithBNGroup(1), WithElasticResume(path))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.GlobalBatch() != gb {
+		t.Fatalf("elastic resume changed the global batch: %d -> %d", gb, b.GlobalBatch())
+	}
+	if _, step, ok := b.ResumedFrom(); !ok || step != 3 {
+		t.Fatalf("resumed at step %d (ok=%t), want 3", step, ok)
+	}
+	res, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resumed || res.StepsRun != 2*b.Engine().StepsPerEpoch()-3 {
+		t.Fatalf("resumed run: Resumed=%t StepsRun=%d", res.Resumed, res.StepsRun)
+	}
+	if sync := b.Engine().WeightsInSync(); sync != "" {
+		t.Fatalf("elastically resumed replicas out of sync at %s", sync)
+	}
+}
+
+// TestSessionElasticResumeSameWorldBitForBit: when the world has not
+// actually changed, WithElasticResume must be WithResume — the identity
+// reshard passes the snapshot through and the run stays bit-for-bit.
+func TestSessionElasticResumeSameWorldBitForBit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "same.ckpt")
+	a, err := New(resumeOpts(WithCallbacks(StopAfterStep(3)))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Snapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	plain, err := New(resumeOpts(WithResume(path))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	elastic, err := New(resumeOpts(WithElasticResume(path))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer elastic.Close()
+	pres, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres, err := elastic.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pres.History) != len(eres.History) {
+		t.Fatalf("eval history length %d vs %d", len(pres.History), len(eres.History))
+	}
+	for i := range pres.History {
+		if pres.History[i].Accuracy != eres.History[i].Accuracy {
+			t.Fatalf("eval %d: elastic %v vs plain %v", i, eres.History[i].Accuracy, pres.History[i].Accuracy)
+		}
+	}
+	ps, err := plain.Engine().CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := elastic.Engine().CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range ps.Keys() {
+		ca, cb := ps.Components[key], es.Components[key]
+		if cb == nil {
+			t.Fatalf("elastic snapshot missing component %q", key)
+		}
+		for _, bk := range ca.Keys() {
+			x, y := ca[bk], cb[bk]
+			if x.Str != y.Str || len(x.F32) != len(y.F32) {
+				t.Fatalf("%s/%s differs between plain and elastic same-world resume", key, bk)
+			}
+			for i := range x.F32 {
+				if x.F32[i] != y.F32[i] {
+					t.Fatalf("%s/%s: f32[%d] %v vs %v", key, bk, i, x.F32[i], y.F32[i])
+				}
+			}
+			for i := range x.I64 {
+				if x.I64[i] != y.I64[i] {
+					t.Fatalf("%s/%s: i64[%d] %d vs %d", key, bk, i, x.I64[i], y.I64[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSessionElasticResumeRejectsModelAxis: elastic resume is a data-axis
+// operation; a hybrid target mesh is rejected at New, before any engine work.
+func TestSessionElasticResumeRejectsModelAxis(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.ckpt")
+	a, err := New(resumeOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Snapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(resumeOpts(WithMesh(1, 2), WithBNGroup(1), WithElasticResume(path))...)
+	if err == nil || !strings.Contains(err.Error(), "model axis") {
+		t.Fatalf("elastic resume onto a 1x2 mesh = %v, want model-axis error", err)
+	}
+}

@@ -86,6 +86,7 @@ type config struct {
 	snapshotEvery int
 	keepLast      int
 	resume        string
+	elastic       bool
 
 	telemetryOn    bool
 	telemetrySinks []telemetry.Sink
@@ -618,6 +619,26 @@ func WithResume(path string) Option {
 			return fmt.Errorf("train: resume path must not be empty")
 		}
 		c.resume = path
+		return nil
+	}
+}
+
+// WithElasticResume is WithResume with the world-size requirement relaxed:
+// the snapshot is resharded (internal/elastic) to the session's world before
+// restoring, re-partitioning per-rank state and re-factorizing the batch
+// geometry so the global batch — and with it the optimizer trajectory and LR
+// schedule — is preserved. The configured per-replica batch and accumulation
+// act as a factorization hint; the solver overrides them when they do not
+// divide the preserved global batch. Resuming at the snapshot's own world is
+// still bit-for-bit; at a different world the run is statistically
+// continuous (same samples, same schedule, floating-point-level divergence).
+func WithElasticResume(path string) Option {
+	return func(c *config) error {
+		if path == "" {
+			return fmt.Errorf("train: resume path must not be empty")
+		}
+		c.resume = path
+		c.elastic = true
 		return nil
 	}
 }

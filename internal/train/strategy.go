@@ -21,12 +21,13 @@ type Distributed struct{}
 func (Distributed) Name() string { return "distributed" }
 
 // Evaluate implements EvalStrategy.
-func (Distributed) Evaluate(e *replica.Engine, samplesPerReplica int) (float64, int) {
+func (Distributed) Evaluate(e *replica.Engine, samplesPerReplica int) (float64, int, error) {
 	serial := e.Replica(0).ValLen()
 	if samplesPerReplica > 0 && samplesPerReplica < serial {
 		serial = samplesPerReplica
 	}
-	return e.Evaluate(samplesPerReplica), serial
+	acc, err := e.Evaluate(samplesPerReplica)
+	return acc, serial, err
 }
 
 // Estimator evaluates the validation split on replica 0 only while every
@@ -40,6 +41,6 @@ type Estimator struct{}
 func (Estimator) Name() string { return "estimator" }
 
 // Evaluate implements EvalStrategy.
-func (Estimator) Evaluate(e *replica.Engine, samplesPerReplica int) (float64, int) {
+func (Estimator) Evaluate(e *replica.Engine, samplesPerReplica int) (float64, int, error) {
 	return e.EvaluateSerial(samplesPerReplica * e.World())
 }

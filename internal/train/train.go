@@ -3,8 +3,10 @@ package train
 import (
 	"fmt"
 	"os"
+	"strings"
 
 	"effnetscale/internal/checkpoint"
+	"effnetscale/internal/elastic"
 	"effnetscale/internal/mesh"
 	"effnetscale/internal/replica"
 	"effnetscale/internal/schedule"
@@ -106,6 +108,30 @@ func New(opts ...Option) (*Session, error) {
 	if c.snapshotEvery > 0 && c.snapshotDir == "" {
 		return nil, fmt.Errorf("train: WithSnapshotEvery needs WithSnapshotDir")
 	}
+	// An elastic resume must solve the batch geometry before the engine and
+	// schedule exist: the snapshot's global batch wins over the configured
+	// per-replica batch and accumulation, which act only as a factorization
+	// hint. The resolved geometry feeds the engine, the LR schedule and the
+	// lr-curve fingerprint, so a preserved global batch keeps all three
+	// identical to the interrupted run's.
+	var elasticSnap *checkpoint.Snapshot
+	var elasticSrc string
+	if c.resume != "" && c.elastic {
+		if msh.Model > 1 {
+			return nil, fmt.Errorf("train: elastic resume only re-partitions the data axis; the %s mesh has a model axis", msh)
+		}
+		snap, src, err := loadSnapshot(c.resume)
+		if err != nil {
+			return nil, fmt.Errorf("train: resume: %w", err)
+		}
+		plan, err := elastic.Plan(snap, mesh.Shape{Data: msh.Data, Model: 1},
+			elastic.WithGeometryHint(c.perReplicaBatch, c.gradAccum))
+		if err != nil {
+			return nil, fmt.Errorf("train: resume %s: %w", src, err)
+		}
+		c.perReplicaBatch, c.gradAccum = plan.PerReplicaBatch, plan.GradAccum
+		elasticSnap, elasticSrc = snap, src
+	}
 	globalBatch := msh.Data * c.perReplicaBatch * c.gradAccum
 	sched := c.scheduleFn(globalBatch, c.epochs)
 
@@ -149,9 +175,15 @@ func New(opts ...Option) (*Session, error) {
 		s.callbacks = append(s.callbacks, StopAtAccuracy(c.targetAcc))
 	}
 	if c.resume != "" {
-		if err := s.restoreFrom(c.resume); err != nil {
+		var rerr error
+		if c.elastic {
+			rerr = s.restoreElastic(elasticSnap, elasticSrc, msh)
+		} else {
+			rerr = s.restoreFrom(c.resume)
+		}
+		if rerr != nil {
 			eng.Close()
-			return nil, err
+			return nil, rerr
 		}
 	}
 	if c.snapshotEvery > 0 {
@@ -165,32 +197,56 @@ func New(opts ...Option) (*Session, error) {
 	return s, nil
 }
 
+// loadSnapshot reads a snapshot from a file, or from a directory the newest
+// readable one (falling back past files a crash truncated mid-write).
+func loadSnapshot(path string) (snap *checkpoint.Snapshot, src string, err error) {
+	if info, statErr := os.Stat(path); statErr == nil && info.IsDir() {
+		return checkpoint.ReadLatestSnapshot(path)
+	}
+	snap, err = checkpoint.ReadSnapshotFile(path)
+	return snap, path, err
+}
+
 // restoreFrom loads a snapshot (a file, or the newest readable one in a
 // directory) and restores the engine and session progress from it.
 func (s *Session) restoreFrom(path string) error {
-	var (
-		snap *checkpoint.Snapshot
-		src  = path
-		err  error
-	)
-	if info, statErr := os.Stat(path); statErr == nil && info.IsDir() {
-		snap, src, err = checkpoint.ReadLatestSnapshot(path)
-	} else {
-		snap, err = checkpoint.ReadSnapshotFile(path)
-	}
+	snap, src, err := loadSnapshot(path)
 	if err != nil {
 		return fmt.Errorf("train: resume: %w", err)
 	}
+	return s.restoreSnapshot(snap, src)
+}
+
+// restoreElastic reshards the pre-loaded snapshot to this session's world
+// and restores from the result. New already solved the geometry from the
+// same snapshot, so the reshard here is either the identity (same world —
+// the original snapshot passes through, keeping the bit-for-bit path) or the
+// per-rank re-partition.
+func (s *Session) restoreElastic(snap *checkpoint.Snapshot, src string, msh mesh.Shape) error {
+	resharded, err := elastic.Reshard(snap, mesh.Shape{Data: msh.Data, Model: 1},
+		elastic.WithGeometryHint(s.cfg.perReplicaBatch, s.cfg.gradAccum))
+	if err != nil {
+		return fmt.Errorf("train: resume %s: %w", src, err)
+	}
+	return s.restoreSnapshot(resharded, src)
+}
+
+// restoreSnapshot restores the engine and session progress from a loaded
+// snapshot.
+func (s *Session) restoreSnapshot(snap *checkpoint.Snapshot, src string) error {
 	// Strict component accounting: everything in the snapshot must be
 	// either engine state or the session's loop component. Anything else
 	// means the snapshot came from a richer setup and dropping it silently
-	// would not be a faithful resume.
+	// would not be a faithful resume. Surplus replica/<r> components are
+	// exempt — they mean the snapshot's world is larger than this session's,
+	// and the engine's fingerprint validation turns that into the world-
+	// mismatch error that names both sizes and the elastic escape hatch.
 	expected := map[string]bool{loopComponent: true}
 	for _, k := range s.eng.StateComponents() {
 		expected[k] = true
 	}
 	for _, k := range snap.Keys() {
-		if !expected[k] {
+		if !expected[k] && !strings.HasPrefix(k, "replica/") {
 			return fmt.Errorf("train: resume %s: snapshot carries unknown component %q", src, k)
 		}
 	}

@@ -16,8 +16,9 @@ type Evaluator interface {
 	Name() string
 	// Evaluate scores the model. samplesPerReplica caps the per-replica
 	// evaluation work (0 = full shard); serial is the sample count the
-	// busiest single worker processed.
-	Evaluate(e *replica.Engine, samplesPerReplica int) (acc float64, serial int)
+	// busiest single worker processed. A non-nil error (an engine poisoned
+	// by a failed state restore, say) aborts the run.
+	Evaluate(e *replica.Engine, samplesPerReplica int) (acc float64, serial int, err error)
 }
 
 // Hooks receive loop events. Nil fields are skipped. Hooks run synchronously
@@ -126,7 +127,10 @@ func Run(cfg Config) (*Result, error) {
 
 	totalSteps := cfg.Epochs * eng.StepsPerEpoch()
 	for s := cfg.StartStep; s < totalSteps; s++ {
-		stepRes := eng.Step()
+		stepRes, err := eng.Step()
+		if err != nil {
+			return nil, fmt.Errorf("trainloop: step %d: %w", s+1, err)
+		}
 		res.StepsRun++
 		step := s + 1 // global 1-based step number, resume-stable
 		if cfg.Hooks.OnStep != nil {
@@ -134,7 +138,10 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if step%evalEvery == 0 || step == totalSteps {
 			evalStart := time.Now()
-			acc, serial := cfg.Evaluator.Evaluate(eng, cfg.EvalSamplesPerReplica)
+			acc, serial, err := cfg.Evaluator.Evaluate(eng, cfg.EvalSamplesPerReplica)
+			if err != nil {
+				return nil, fmt.Errorf("trainloop: eval at step %d: %w", step, err)
+			}
 			evalWall := time.Since(evalStart)
 			res.EvalSerialSamples += serial
 			res.EvalWallTime += evalWall

@@ -14,8 +14,9 @@ import (
 type distEval struct{}
 
 func (distEval) Name() string { return "distributed" }
-func (distEval) Evaluate(e *replica.Engine, per int) (float64, int) {
-	return e.Evaluate(per), per
+func (distEval) Evaluate(e *replica.Engine, per int) (float64, int, error) {
+	acc, err := e.Evaluate(per)
+	return acc, per, err
 }
 
 func testEngine(t *testing.T, world, perBatch, bnGroup int, opt string, sched schedule.Schedule) *replica.Engine {
