@@ -91,7 +91,7 @@ func TestConv2DGradViaTape(t *testing.T) {
 	w := Leaf(tensor.Randn(rng, 0.5, 3, 2, 3, 3), true)
 	spec := tensor.ConvSpec{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
 	gradCheck(t, "conv2d", []*Value{x, w}, func() *Value {
-		return Mean(Conv2D(x, w, spec, bf16.FP32Policy))
+		return Mean(Conv2D(x, w, spec, bf16.FP32Policy, nil))
 	}, 2e-3)
 }
 
@@ -216,8 +216,8 @@ func TestBF16PolicyChangesForward(t *testing.T) {
 	x := Leaf(tensor.Randn(rng, 1, 1, 2, 4, 4), false)
 	w := Leaf(tensor.Randn(rng, 1, 2, 2, 3, 3), false)
 	spec := tensor.ConvSpec{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
-	fp32 := Conv2D(x, w, spec, bf16.FP32Policy)
-	mixed := Conv2D(x, w, spec, bf16.DefaultPolicy)
+	fp32 := Conv2D(x, w, spec, bf16.FP32Policy, nil)
+	mixed := Conv2D(x, w, spec, bf16.DefaultPolicy, nil)
 	// Outputs must be close (bf16 has ~2^-8 relative error) but generally
 	// not bit-identical.
 	var differs bool

@@ -87,14 +87,15 @@ func maybeBF16(t *tensor.Tensor, enabled bool) *tensor.Tensor {
 // Conv2D convolves x with w under spec. When policy.ConvBF16 is set, inputs
 // and weights are rounded to bfloat16 before the kernel runs (forward and
 // backward), emulating the paper's mixed-precision training. Accumulation
-// stays in fp32, as on TPU.
-func Conv2D(x, w *Value, spec tensor.ConvSpec, policy bf16.Policy) *Value {
+// stays in fp32, as on TPU. Kernel temporaries come from sc (nil = the
+// process-wide arena); engines pass their own so working sets stay separate.
+func Conv2D(x, w *Value, spec tensor.ConvSpec, policy bf16.Policy, sc *tensor.Scratch) *Value {
 	xc := maybeBF16(x.T, policy.ConvBF16)
 	wc := maybeBF16(w.T, policy.ConvBF16)
-	out := tensor.Conv2D(xc, wc, spec)
+	out := tensor.Conv2DScratch(xc, wc, spec, sc)
 	return NewOp("conv2d", out, []*Value{x, w}, func(g *tensor.Tensor) {
 		gc := maybeBF16(g, policy.ConvBF16)
-		dx, dw := tensor.Conv2DBackward(xc, wc, gc, spec)
+		dx, dw := tensor.Conv2DBackwardScratch(xc, wc, gc, spec, sc)
 		x.Accumulate(dx)
 		w.Accumulate(dw)
 	})

@@ -45,22 +45,78 @@ func fromBits(b uint32) BF16 {
 	return BF16((b + 0x7FFF + lsb) >> 16)
 }
 
+// roundBits rounds a float32 bit pattern to bfloat16 precision while keeping
+// it in 32-bit form (low 16 bits cleared). It is the round+widen composition
+// of fromBits and BF16.Float32 without the narrowing shift, which is what the
+// slice conversion loops want: one add, one mask, no 16-bit intermediates.
+func roundBits(b uint32) uint32 {
+	if b&0x7F800000 == 0x7F800000 && b&0x007FFFFF != 0 {
+		return (b & 0xFFFF0000) | 0x00400000 // quiet NaN, same as fromBits
+	}
+	return (b + 0x7FFF + ((b >> 16) & 1)) & 0xFFFF0000
+}
+
 // Float32 widens a bfloat16 back to float32 (exact).
 func (x BF16) Float32() float32 { return math.Float32frombits(uint32(x) << 16) }
 
 // Round returns f rounded to bfloat16 precision and widened back to float32.
 // This is the core primitive for emulating a bf16 compute unit.
-func Round(f float32) float32 { return FromFloat32(f).Float32() }
+func Round(f float32) float32 {
+	return math.Float32frombits(roundBits(math.Float32bits(f)))
+}
 
 // RoundSlice rounds every element of src to bfloat16 precision, writing into
-// dst (which may alias src). Lengths must match.
+// dst (which may alias src). Lengths must match. The inner loop is unrolled
+// four wide over the pure bit-level rounding formula; only NaNs take the
+// branchy path.
 func RoundSlice(dst, src []float32) {
 	if len(dst) != len(src) {
 		panic("bf16: RoundSlice length mismatch")
 	}
 	parallel.ForChunked(len(src), 2048, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst[i] = Round(src[i])
+		d, s := dst[lo:hi], src[lo:hi:hi]
+		i := 0
+		for ; i+4 <= len(s); i += 4 {
+			b0 := math.Float32bits(s[i])
+			b1 := math.Float32bits(s[i+1])
+			b2 := math.Float32bits(s[i+2])
+			b3 := math.Float32bits(s[i+3])
+			d[i] = math.Float32frombits(roundBits(b0))
+			d[i+1] = math.Float32frombits(roundBits(b1))
+			d[i+2] = math.Float32frombits(roundBits(b2))
+			d[i+3] = math.Float32frombits(roundBits(b3))
+		}
+		for ; i < len(s); i++ {
+			d[i] = math.Float32frombits(roundBits(math.Float32bits(s[i])))
+		}
+	})
+}
+
+// PackSlice converts src to bfloat16 storage (round-to-nearest-even),
+// writing into dst. Lengths must match. Useful for halving the memory
+// footprint of checkpoint shards and activation stashes.
+func PackSlice(dst []BF16, src []float32) {
+	if len(dst) != len(src) {
+		panic("bf16: PackSlice length mismatch")
+	}
+	parallel.ForChunked(len(src), 2048, func(lo, hi int) {
+		d, s := dst[lo:hi], src[lo:hi:hi]
+		for i, f := range s {
+			d[i] = BF16(roundBits(math.Float32bits(f)) >> 16)
+		}
+	})
+}
+
+// UnpackSlice widens bfloat16 storage back to float32 (exact), writing into
+// dst. Lengths must match.
+func UnpackSlice(dst []float32, src []BF16) {
+	if len(dst) != len(src) {
+		panic("bf16: UnpackSlice length mismatch")
+	}
+	parallel.ForChunked(len(src), 2048, func(lo, hi int) {
+		d, s := dst[lo:hi], src[lo:hi:hi]
+		for i, x := range s {
+			d[i] = math.Float32frombits(uint32(x) << 16)
 		}
 	})
 }

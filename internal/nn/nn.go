@@ -74,6 +74,11 @@ type Ctx struct {
 	Precision bf16.Policy
 	// RNG drives dropout and stochastic depth; may be nil in eval mode.
 	RNG *rand.Rand
+	// Scratch supplies kernel temporaries (im2col buffers, GEMM panels).
+	// May be nil, in which case kernels share the process-wide arena; the
+	// replica engine sets a per-engine arena so concurrent engines keep
+	// separate working sets.
+	Scratch *tensor.Scratch
 }
 
 // EvalCtx returns a context for inference in full fp32.
@@ -109,7 +114,7 @@ func NewConv2D(rng *rand.Rand, name string, cin, cout, k, stride int) *Conv2D {
 
 // Forward applies the convolution under the context's precision policy.
 func (l *Conv2D) Forward(ctx *Ctx, x *autograd.Value) *autograd.Value {
-	return autograd.Conv2D(x, l.W.Value, l.Spec, ctx.Precision)
+	return autograd.Conv2D(x, l.W.Value, l.Spec, ctx.Precision, ctx.Scratch)
 }
 
 // Params returns the convolution kernel.

@@ -177,6 +177,11 @@ type Engine struct {
 	// samples holds one reusable per-replica phase-timing sample per rank
 	// (nil when telemetry is off, which disables all timing).
 	samples []telemetry.StepSample
+	// scratch is the engine-owned kernel arena: im2col buffers and GEMM
+	// packing panels are drawn from it instead of being allocated per conv
+	// call. One arena per engine keeps concurrent engines' working sets
+	// separate; dropping the engine releases it.
+	scratch *tensor.Scratch
 }
 
 // Replica is one data-parallel worker.
@@ -387,7 +392,7 @@ func New(cfg Config) (*Engine, error) {
 		prov = comm.InstrumentProvider(prov, cfg.Telemetry)
 	}
 
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, scratch: tensor.NewScratch()}
 	if cfg.Telemetry != nil {
 		e.samples = make([]telemetry.StepSample, cfg.World)
 	}
@@ -458,7 +463,7 @@ func New(cfg Config) (*Engine, error) {
 			opt:      opt,
 			train:    data.NewShard(cfg.Dataset, 0, d, cfg.Mesh.Data),
 			val:      data.NewShard(cfg.Dataset, 1, d, cfg.Mesh.Data),
-			ctx:      &nn.Ctx{Training: true, Precision: cfg.Precision},
+			ctx:      &nn.Ctx{Training: true, Precision: cfg.Precision, Scratch: e.scratch},
 			gradBuf:  make([]float32, e.gradLen),
 			buckets:  e.buckets,
 			batch:    tensor.New(cfg.PerReplicaBatch, 3, modelCfg.Resolution, modelCfg.Resolution),

@@ -126,7 +126,7 @@ func (sp *shardPlan) conv1x1(ctx *nn.Ctx, l *nn.Conv2D, x *autograd.Value) *auto
 	// layout; FromSlice views them without copying.
 	wRows := tensor.FromSlice(w.Data().Data()[sc.lo*cin:sc.hi*cin], csh, cin, 1, 1)
 	wc := roundBF16(wRows, policy.ConvBF16)
-	local := tensor.Conv2D(xc, wc, l.Spec) // [N, csh, OH, OW]
+	local := tensor.Conv2DScratch(xc, wc, l.Spec, ctx.Scratch) // [N, csh, OH, OW]
 	n, _, oh, ow := local.Dim4()
 	chunk := csh * oh * ow
 
@@ -154,7 +154,7 @@ func (sp *shardPlan) conv1x1(ctx *nn.Ctx, l *nn.Conv2D, x *autograd.Value) *auto
 			copy(gsh.Data()[i*chunk:(i+1)*chunk], g.Data()[(i*cout+sc.lo)*oh*ow:][:chunk])
 		}
 		gc := roundBF16(gsh, policy.ConvBF16)
-		dx, dwSh := tensor.Conv2DBackward(xc, wc, gc, l.Spec)
+		dx, dwSh := tensor.Conv2DBackwardScratch(xc, wc, gc, l.Spec, ctx.Scratch)
 		// dx is partial — each rank saw only its output channels — so the
 		// model axis sums the contributions (the gradient counterpart of the
 		// forward gather).

@@ -80,3 +80,75 @@ func BenchmarkElementwiseAdd1M(b *testing.B) {
 		Add(x, y)
 	}
 }
+
+// BenchmarkConv measures the steady-state conv kernels through the Into
+// variants with a warm scratch arena — the configuration the training loop
+// runs in. ReportAllocs proves the allocs/op = 0 contract that the
+// bench-regression guard enforces.
+func BenchmarkConv(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	sc := NewScratch()
+	b.Run("forward3x3", func(b *testing.B) {
+		x := Randn(rng, 1, 4, 16, 16, 16)
+		w := Randn(rng, 0.2, 32, 16, 3, 3)
+		spec := ConvSpec{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+		dst := New(spec.OutShape(x, w)...)
+		Conv2DInto(dst, x, w, spec, sc) // warm the arena
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Conv2DInto(dst, x, w, spec, sc)
+		}
+	})
+	b.Run("forward1x1", func(b *testing.B) {
+		x := Randn(rng, 1, 4, 32, 16, 16)
+		w := Randn(rng, 0.2, 64, 32, 1, 1)
+		spec := ConvSpec{StrideH: 1, StrideW: 1}
+		dst := New(spec.OutShape(x, w)...)
+		Conv2DInto(dst, x, w, spec, sc)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Conv2DInto(dst, x, w, spec, sc)
+		}
+	})
+	b.Run("backward3x3", func(b *testing.B) {
+		x := Randn(rng, 1, 4, 16, 16, 16)
+		w := Randn(rng, 0.2, 32, 16, 3, 3)
+		spec := ConvSpec{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+		dy := Randn(rng, 1, spec.OutShape(x, w)...)
+		dx := New(x.Shape()...)
+		dw := New(w.Shape()...)
+		Conv2DBackwardInto(dx, dw, x, w, dy, spec, sc)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Conv2DBackwardInto(dx, dw, x, w, dy, spec, sc)
+		}
+	})
+	b.Run("backward1x1", func(b *testing.B) {
+		x := Randn(rng, 1, 4, 32, 16, 16)
+		w := Randn(rng, 0.2, 64, 32, 1, 1)
+		spec := ConvSpec{StrideH: 1, StrideW: 1}
+		dy := Randn(rng, 1, spec.OutShape(x, w)...)
+		dx := New(x.Shape()...)
+		dw := New(w.Shape()...)
+		Conv2DBackwardInto(dx, dw, x, w, dy, spec, sc)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Conv2DBackwardInto(dx, dw, x, w, dy, spec, sc)
+		}
+	})
+	b.Run("depthwise", func(b *testing.B) {
+		x := Randn(rng, 1, 4, 32, 16, 16)
+		w := Randn(rng, 0.2, 32, 1, 3, 3)
+		spec := ConvSpec{StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+		dst := New(DepthwiseConv2D(x, w, spec).Shape()...)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			DepthwiseConv2DInto(dst, x, w, spec)
+		}
+	})
+}

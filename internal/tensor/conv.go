@@ -32,7 +32,13 @@ func (s ConvSpec) OutShape(x, w *Tensor) []int {
 // for an odd kernel size k.
 func SamePad(k int) int { return (k - 1) / 2 }
 
-// Im2Col expands one sample's receptive fields into a column matrix of shape
+// is1x1 reports whether the convolution is a pointwise (1×1, unpadded)
+// conv — the shape the dedicated fast path handles without im2col.
+func is1x1(kh, kw int, spec ConvSpec) bool {
+	return kh == 1 && kw == 1 && spec.PadH == 0 && spec.PadW == 0
+}
+
+// im2col expands one sample's receptive fields into a column matrix of shape
 // [Cin*KH*KW, OH*OW]. xd is the sample's [Cin,H,W] data. The result is
 // written into col, which must have the right size.
 func im2col(col []float32, xd []float32, cin, h, w, kh, kw, oh, ow int, spec ConvSpec) {
@@ -95,9 +101,24 @@ func col2im(dx []float32, col []float32, cin, h, w, kh, kw, oh, ow int, spec Con
 }
 
 // Conv2D computes a standard convolution of x [N,Cin,H,W] with weights
-// w [Cout,Cin,KH,KW] under spec, returning [N,Cout,OH,OW]. The implementation
-// is im2col + matmul per sample, parallelized over the batch.
+// w [Cout,Cin,KH,KW] under spec, returning [N,Cout,OH,OW]. Temporaries come
+// from the process-wide default arena; engines with their own Scratch use
+// Conv2DScratch.
 func Conv2D(x, w *Tensor, spec ConvSpec) *Tensor {
+	return Conv2DScratch(x, w, spec, nil)
+}
+
+// Conv2DScratch is Conv2D drawing its temporaries from sc (nil = default).
+func Conv2DScratch(x, w *Tensor, spec ConvSpec, sc *Scratch) *Tensor {
+	out := New(spec.OutShape(x, w)...)
+	Conv2DInto(out, x, w, spec, sc)
+	return out
+}
+
+// Conv2DInto computes the convolution into dst, which must have shape
+// spec.OutShape(x, w). Steady-state it allocates nothing: the im2col column
+// matrix and GEMM packing panels are reused through sc.
+func Conv2DInto(dst, x, w *Tensor, spec ConvSpec, sc *Scratch) {
 	n, cin, h, wd := x.Dim4()
 	cout, cin2, kh, kw := w.Dim4()
 	if cin != cin2 {
@@ -108,184 +129,211 @@ func Conv2D(x, w *Tensor, spec ConvSpec) *Tensor {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("tensor: Conv2D produces empty output for x=%v w=%v spec=%+v", x.shape, w.shape, spec))
 	}
-	out := New(n, cout, oh, ow)
+	dn, dc, doh, dow := dst.Dim4()
+	if dn != n || dc != cout || doh != oh || dow != ow {
+		panic(fmt.Sprintf("tensor: Conv2DInto dst shape %v, want %v", dst.shape, []int{n, cout, oh, ow}))
+	}
+	arena := sc.orDefault()
+
+	// Parallelize across samples when the batch can feed every worker;
+	// otherwise run samples serially and let the GEMM spread row blocks.
+	// The closure exists only on the parallel branch so the serial path
+	// (named function, explicit args) stays allocation-free.
+	if workers := parallel.MaxWorkers(); workers > 1 && n >= workers {
+		parallel.ForChunked(n, 1, func(lo, hi int) {
+			conv2DForwardRange(dst, x, w, spec, arena, false, lo, hi)
+		})
+	} else {
+		conv2DForwardRange(dst, x, w, spec, arena, true, 0, n)
+	}
+}
+
+// conv2DForwardRange convolves samples [lo, hi) into dst. gemmPar spreads
+// each sample's GEMM over row-block workers; callers already fanned out
+// across samples pass false to avoid nested parallelism.
+func conv2DForwardRange(dst, x, w *Tensor, spec ConvSpec, arena *Scratch, gemmPar bool, lo, hi int) {
+	_, cin, h, wd := x.Dim4()
+	cout, _, kh, kw := w.Dim4()
+	_, _, oh, ow := dst.Dim4()
 	ckk := cin * kh * kw
 	ohw := oh * ow
-	wmat := w.data // [cout, ckk] row-major view
-
-	parallel.ForChunked(n, 1, func(lo, hi int) {
-		col := make([]float32, ckk*ohw)
+	chw := cin * h * wd
+	if is1x1(kh, kw, spec) && spec.StrideH == 1 && spec.StrideW == 1 {
+		// Pointwise fast path: out_s [Cout,HW] = W [Cout,Cin] @ x_s
+		// [Cin,HW] — the input matrix is the activation itself, no
+		// im2col copy at all. This is the layout the channel-sharded
+		// 1×1 convs of the hybrid engine hit (efficientnet.Conv1x1Fn).
 		for s := lo; s < hi; s++ {
-			im2col(col, x.data[s*cin*h*wd:(s+1)*cin*h*wd], cin, h, wd, kh, kw, oh, ow, spec)
-			// out_s [cout, ohw] = wmat [cout, ckk] @ col [ckk, ohw]
-			dst := out.data[s*cout*ohw : (s+1)*cout*ohw]
-			for i := 0; i < cout; i++ {
-				drow := dst[i*ohw : (i+1)*ohw]
-				wrow := wmat[i*ckk : (i+1)*ckk]
-				for p, wv := range wrow {
-					if wv == 0 {
-						continue
-					}
-					axpyRow(drow, wv, col[p*ohw:(p+1)*ohw])
-				}
+			gemm(dst.data[s*cout*ohw:(s+1)*cout*ohw], w.data, cin, false,
+				x.data[s*chw:(s+1)*chw], ohw, false, cout, ohw, cin, false, arena, gemmPar)
+		}
+		return
+	}
+	if is1x1(kh, kw, spec) {
+		// Strided 1×1: gather the strided grid into a dense [Cin,OHW]
+		// matrix (far smaller than an im2col buffer), then one GEMM.
+		gp := arena.get(cin * ohw)
+		for s := lo; s < hi; s++ {
+			gather1x1(*gp, x.data[s*chw:(s+1)*chw], cin, h, wd, oh, ow, spec)
+			gemm(dst.data[s*cout*ohw:(s+1)*cout*ohw], w.data, cin, false,
+				*gp, ohw, false, cout, ohw, cin, false, arena, gemmPar)
+		}
+		arena.put(gp)
+		return
+	}
+	cp := arena.get(ckk * ohw)
+	for s := lo; s < hi; s++ {
+		im2col(*cp, x.data[s*chw:(s+1)*chw], cin, h, wd, kh, kw, oh, ow, spec)
+		// out_s [Cout,OHW] = W [Cout,CKK] @ col [CKK,OHW]
+		gemm(dst.data[s*cout*ohw:(s+1)*cout*ohw], w.data, ckk, false,
+			*cp, ohw, false, cout, ohw, ckk, false, arena, gemmPar)
+	}
+	arena.put(cp)
+}
+
+// gather1x1 packs the stride-sampled spatial grid of one [Cin,H,W] sample
+// into a dense [Cin,OH*OW] matrix.
+func gather1x1(dst, xs []float32, cin, h, w, oh, ow int, spec ConvSpec) {
+	ohw := oh * ow
+	for c := 0; c < cin; c++ {
+		d := dst[c*ohw : (c+1)*ohw]
+		for oy := 0; oy < oh; oy++ {
+			xrow := xs[c*h*w+oy*spec.StrideH*w:]
+			drow := d[oy*ow : oy*ow+ow]
+			for ox := range drow {
+				drow[ox] = xrow[ox*spec.StrideW]
 			}
 		}
-	})
-	return out
+	}
+}
+
+// scatter1x1Add adds a dense [Cin,OH*OW] gradient back onto the
+// stride-sampled positions of one [Cin,H,W] gradient.
+func scatter1x1Add(dxs, g []float32, cin, h, w, oh, ow int, spec ConvSpec) {
+	ohw := oh * ow
+	for c := 0; c < cin; c++ {
+		s := g[c*ohw : (c+1)*ohw]
+		for oy := 0; oy < oh; oy++ {
+			dxrow := dxs[c*h*w+oy*spec.StrideH*w:]
+			srow := s[oy*ow : oy*ow+ow]
+			for ox := range srow {
+				dxrow[ox*spec.StrideW] += srow[ox]
+			}
+		}
+	}
 }
 
 // Conv2DBackward computes the gradients of Conv2D with respect to the input
 // and the weights given the upstream gradient dy [N,Cout,OH,OW].
 func Conv2DBackward(x, w, dy *Tensor, spec ConvSpec) (dx, dw *Tensor) {
-	n, cin, h, wd := x.Dim4()
+	return Conv2DBackwardScratch(x, w, dy, spec, nil)
+}
+
+// Conv2DBackwardScratch is Conv2DBackward drawing temporaries from sc.
+func Conv2DBackwardScratch(x, w, dy *Tensor, spec ConvSpec, sc *Scratch) (dx, dw *Tensor) {
+	dx = New(x.shape...)
+	dw = New(w.shape...)
+	Conv2DBackwardInto(dx, dw, x, w, dy, spec, sc)
+	return dx, dw
+}
+
+// Conv2DBackwardInto computes input and weight gradients into dx and dw
+// (overwriting both; shapes must match x and w). Steady-state it allocates
+// nothing. Worker-partial weight gradients merge in deterministic chunk
+// order, so results do not depend on goroutine scheduling.
+func Conv2DBackwardInto(dx, dw, x, w, dy *Tensor, spec ConvSpec, sc *Scratch) {
+	n := x.Dim(0)
+	if !SameShape(dx, x) || !SameShape(dw, w) {
+		panic(fmt.Sprintf("tensor: Conv2DBackwardInto gradient shapes dx=%v dw=%v, want %v and %v", dx.shape, dw.shape, x.shape, w.shape))
+	}
+	arena := sc.orDefault()
+	dx.Zero()
+	dw.Zero()
+
+	workers := parallel.MaxWorkers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		conv2DBackwardRange(dx, dw.data, x, w, dy, spec, arena, false, 0, n)
+		return
+	}
+	// Deterministic parallel reduction: chunk c accumulates into its own
+	// region of one pooled buffer, and the partials merge in chunk order —
+	// the sum never depends on which worker finished first.
+	chunk := (n + workers - 1) / workers
+	nChunks := (n + chunk - 1) / chunk
+	wlen := len(w.data)
+	pp := arena.getZeroed(nChunks * wlen)
+	partials := *pp
+	parallel.ForChunked(nChunks, 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo := c * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			conv2DBackwardRange(dx, partials[c*wlen:(c+1)*wlen], x, w, dy, spec, arena, false, lo, hi)
+		}
+	})
+	for c := 0; c < nChunks; c++ {
+		part := partials[c*wlen : (c+1)*wlen]
+		for i, v := range part {
+			dw.data[i] += v
+		}
+	}
+	arena.put(pp)
+}
+
+// conv2DBackwardRange accumulates the weight gradient of samples [lo, hi)
+// into dwAcc and writes their (exclusively owned) input-gradient slices of
+// dx. A named function so the single-worker path allocates nothing.
+func conv2DBackwardRange(dx *Tensor, dwAcc []float32, x, w, dy *Tensor, spec ConvSpec, arena *Scratch, gemmPar bool, lo, hi int) {
+	_, cin, h, wd := x.Dim4()
 	cout, _, kh, kw := w.Dim4()
 	_, _, oh, ow := dy.Dim4()
 	ckk := cin * kh * kw
 	ohw := oh * ow
-
-	dx = New(x.shape...)
-	// Per-worker dw accumulators avoid a lock on the shared weight gradient.
-	nWorkers := parallel.MaxWorkers()
-	if nWorkers > n {
-		nWorkers = n
-	}
-	partials := make(chan []float32, nWorkers+1)
-
-	parallel.ForChunked(n, 1, func(lo, hi int) {
-		col := make([]float32, ckk*ohw)
-		dcol := make([]float32, ckk*ohw)
-		dwLocal := make([]float32, len(w.data))
+	chw := cin * h * wd
+	pointwise := is1x1(kh, kw, spec)
+	unitStride := spec.StrideH == 1 && spec.StrideW == 1
+	if pointwise && unitStride {
 		for s := lo; s < hi; s++ {
-			xs := x.data[s*cin*h*wd : (s+1)*cin*h*wd]
-			im2col(col, xs, cin, h, wd, kh, kw, oh, ow, spec)
 			dys := dy.data[s*cout*ohw : (s+1)*cout*ohw]
-			// dW += dy_s [cout, ohw] @ col^T [ohw, ckk]
-			for i := 0; i < cout; i++ {
-				dyrow := dys[i*ohw : (i+1)*ohw]
-				dwrow := dwLocal[i*ckk : (i+1)*ckk]
-				for p := 0; p < ckk; p++ {
-					crow := col[p*ohw : (p+1)*ohw]
-					var acc float32
-					q := 0
-					for ; q+4 <= ohw; q += 4 {
-						acc += dyrow[q]*crow[q] + dyrow[q+1]*crow[q+1] +
-							dyrow[q+2]*crow[q+2] + dyrow[q+3]*crow[q+3]
-					}
-					for ; q < ohw; q++ {
-						acc += dyrow[q] * crow[q]
-					}
-					dwrow[p] += acc
-				}
-			}
-			// dcol = w^T [ckk, cout] @ dy_s [cout, ohw]
-			for i := range dcol {
-				dcol[i] = 0
-			}
-			for i := 0; i < cout; i++ {
-				wrow := w.data[i*ckk : (i+1)*ckk]
-				dyrow := dys[i*ohw : (i+1)*ohw]
-				for p, wv := range wrow {
-					if wv == 0 {
-						continue
-					}
-					axpyRow(dcol[p*ohw:(p+1)*ohw], wv, dyrow)
-				}
-			}
-			col2im(dx.data[s*cin*h*wd:(s+1)*cin*h*wd], dcol, cin, h, wd, kh, kw, oh, ow, spec)
+			// dW [Cout,Cin] += dy_s [Cout,HW] @ x_sᵀ
+			gemm(dwAcc, dys, ohw, false, x.data[s*chw:(s+1)*chw], ohw, true,
+				cout, cin, ohw, true, arena, gemmPar)
+			// dx_s [Cin,HW] = Wᵀ [Cin,Cout] @ dy_s
+			gemm(dx.data[s*chw:(s+1)*chw], w.data, cin, true, dys, ohw, false,
+				cin, ohw, cout, false, arena, gemmPar)
 		}
-		partials <- dwLocal
-	})
-	close(partials)
-	dw = New(w.shape...)
-	for p := range partials {
-		for i, v := range p {
-			dw.data[i] += v
-		}
+		return
 	}
-	return dx, dw
-}
-
-// DepthwiseConv2D convolves each channel of x [N,C,H,W] with its own filter
-// from w [C,1,KH,KW], returning [N,C,OH,OW]. This is the dominant operator of
-// EfficientNet's MBConv blocks.
-func DepthwiseConv2D(x, w *Tensor, spec ConvSpec) *Tensor {
-	n, c, h, wd := x.Dim4()
-	cw, one, kh, kw := w.Dim4()
-	if cw != c || one != 1 {
-		panic(fmt.Sprintf("tensor: DepthwiseConv2D weight shape %v does not match channels %d", w.shape, c))
+	if pointwise {
+		gp := arena.get(cin * ohw)
+		dgp := arena.get(cin * ohw)
+		for s := lo; s < hi; s++ {
+			dys := dy.data[s*cout*ohw : (s+1)*cout*ohw]
+			gather1x1(*gp, x.data[s*chw:(s+1)*chw], cin, h, wd, oh, ow, spec)
+			gemm(dwAcc, dys, ohw, false, *gp, ohw, true, cout, cin, ohw, true, arena, gemmPar)
+			gemm(*dgp, w.data, cin, true, dys, ohw, false, cin, ohw, cout, false, arena, gemmPar)
+			scatter1x1Add(dx.data[s*chw:(s+1)*chw], *dgp, cin, h, wd, oh, ow, spec)
+		}
+		arena.put(dgp)
+		arena.put(gp)
+		return
 	}
-	oh := outSize(h, kh, spec.StrideH, spec.PadH)
-	ow := outSize(wd, kw, spec.StrideW, spec.PadW)
-	out := New(n, c, oh, ow)
-	parallel.For(n*c, func(nc int) {
-		ch := nc % c
-		xs := x.data[nc*h*wd : (nc+1)*h*wd]
-		ws := w.data[ch*kh*kw : (ch+1)*kh*kw]
-		os := out.data[nc*oh*ow : (nc+1)*oh*ow]
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				var acc float32
-				for i := 0; i < kh; i++ {
-					iy := oy*spec.StrideH - spec.PadH + i
-					if iy < 0 || iy >= h {
-						continue
-					}
-					for j := 0; j < kw; j++ {
-						ix := ox*spec.StrideW - spec.PadW + j
-						if ix < 0 || ix >= wd {
-							continue
-						}
-						acc += xs[iy*wd+ix] * ws[i*kw+j]
-					}
-				}
-				os[oy*ow+ox] = acc
-			}
-		}
-	})
-	return out
-}
-
-// DepthwiseConv2DBackward computes input and weight gradients of
-// DepthwiseConv2D.
-func DepthwiseConv2DBackward(x, w, dy *Tensor, spec ConvSpec) (dx, dw *Tensor) {
-	n, c, h, wd := x.Dim4()
-	_, _, kh, kw := w.Dim4()
-	_, _, oh, ow := dy.Dim4()
-	dx = New(x.shape...)
-	dw = New(w.shape...)
-	// Parallelize over channels; each channel's dw slice is owned by exactly
-	// one goroutine, and dx slices are disjoint per (n, c).
-	parallel.For(c, func(ch int) {
-		ws := w.data[ch*kh*kw : (ch+1)*kh*kw]
-		dws := dw.data[ch*kh*kw : (ch+1)*kh*kw]
-		for s := 0; s < n; s++ {
-			nc := s*c + ch
-			xs := x.data[nc*h*wd : (nc+1)*h*wd]
-			dxs := dx.data[nc*h*wd : (nc+1)*h*wd]
-			dys := dy.data[nc*oh*ow : (nc+1)*oh*ow]
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					g := dys[oy*ow+ox]
-					if g == 0 {
-						continue
-					}
-					for i := 0; i < kh; i++ {
-						iy := oy*spec.StrideH - spec.PadH + i
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for j := 0; j < kw; j++ {
-							ix := ox*spec.StrideW - spec.PadW + j
-							if ix < 0 || ix >= wd {
-								continue
-							}
-							dxs[iy*wd+ix] += g * ws[i*kw+j]
-							dws[i*kw+j] += g * xs[iy*wd+ix]
-						}
-					}
-				}
-			}
-		}
-	})
-	return dx, dw
+	cp := arena.get(ckk * ohw)
+	dcp := arena.get(ckk * ohw)
+	for s := lo; s < hi; s++ {
+		dys := dy.data[s*cout*ohw : (s+1)*cout*ohw]
+		im2col(*cp, x.data[s*chw:(s+1)*chw], cin, h, wd, kh, kw, oh, ow, spec)
+		// dW [Cout,CKK] += dy_s [Cout,OHW] @ colᵀ
+		gemm(dwAcc, dys, ohw, false, *cp, ohw, true, cout, ckk, ohw, true, arena, gemmPar)
+		// dcol [CKK,OHW] = Wᵀ [CKK,Cout] @ dy_s
+		gemm(*dcp, w.data, ckk, true, dys, ohw, false, ckk, ohw, cout, false, arena, gemmPar)
+		col2im(dx.data[s*chw:(s+1)*chw], *dcp, cin, h, wd, kh, kw, oh, ow, spec)
+	}
+	arena.put(dcp)
+	arena.put(cp)
 }

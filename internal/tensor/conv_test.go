@@ -1,47 +1,15 @@
 package tensor
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
 )
 
-// naiveConv2D is a direct 7-loop reference implementation used to validate
-// the im2col kernel.
-func naiveConv2D(x, w *Tensor, spec ConvSpec) *Tensor {
-	n, cin, h, wd := x.Dim4()
-	cout, _, kh, kw := w.Dim4()
-	oh := outSize(h, kh, spec.StrideH, spec.PadH)
-	ow := outSize(wd, kw, spec.StrideW, spec.PadW)
-	out := New(n, cout, oh, ow)
-	for s := 0; s < n; s++ {
-		for co := 0; co < cout; co++ {
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					var acc float64
-					for ci := 0; ci < cin; ci++ {
-						for i := 0; i < kh; i++ {
-							iy := oy*spec.StrideH - spec.PadH + i
-							if iy < 0 || iy >= h {
-								continue
-							}
-							for j := 0; j < kw; j++ {
-								ix := ox*spec.StrideW - spec.PadW + j
-								if ix < 0 || ix >= wd {
-									continue
-								}
-								acc += float64(x.At(s, ci, iy, ix)) * float64(w.At(co, ci, i, j))
-							}
-						}
-					}
-					out.Set(float32(acc), s, co, oy, ox)
-				}
-			}
-		}
-	}
-	return out
-}
-
+// TestConv2DAgainstNaive checks a fixed shape table against the shared
+// float64 direct-convolution oracle (oracle_test.go); the both-kernel-path
+// sweep lives in TestConv2DOracleSweep.
 func TestConv2DAgainstNaive(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	cases := []struct {
@@ -59,15 +27,11 @@ func TestConv2DAgainstNaive(t *testing.T) {
 		x := Randn(rng, 1, c.n, c.cin, c.h, c.w)
 		w := Randn(rng, 1, c.cout, c.cin, c.k, c.k)
 		got := Conv2D(x, w, c.spec)
-		want := naiveConv2D(x, w, c.spec)
-		if !SameShape(got, want) {
-			t.Fatalf("Conv2D shape %v, want %v", got.Shape(), want.Shape())
+		want, mag, k := oracleConv2D(x, w, c.spec)
+		if got.Len() != len(want) {
+			t.Fatalf("Conv2D case %+v: %d outputs, oracle has %d", c, got.Len(), len(want))
 		}
-		for i := range got.Data() {
-			if !almostEqual(float64(got.Data()[i]), float64(want.Data()[i]), 1e-4) {
-				t.Fatalf("Conv2D case %+v: out[%d] = %v, want %v", c, i, got.Data()[i], want.Data()[i])
-			}
-		}
+		assertOracle(t, fmt.Sprintf("Conv2D case %+v", c), got.Data(), want, mag, k)
 	}
 }
 
@@ -113,38 +77,9 @@ func TestConv2DBackwardGradCheck(t *testing.T) {
 	checkGrad(t, "conv dw", dw, numericalGrad(w, loss, 1e-2), 2e-2)
 }
 
-func naiveDepthwise(x, w *Tensor, spec ConvSpec) *Tensor {
-	n, c, h, wd := x.Dim4()
-	_, _, kh, kw := w.Dim4()
-	oh := outSize(h, kh, spec.StrideH, spec.PadH)
-	ow := outSize(wd, kw, spec.StrideW, spec.PadW)
-	out := New(n, c, oh, ow)
-	for s := 0; s < n; s++ {
-		for ch := 0; ch < c; ch++ {
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					var acc float64
-					for i := 0; i < kh; i++ {
-						iy := oy*spec.StrideH - spec.PadH + i
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for j := 0; j < kw; j++ {
-							ix := ox*spec.StrideW - spec.PadW + j
-							if ix < 0 || ix >= wd {
-								continue
-							}
-							acc += float64(x.At(s, ch, iy, ix)) * float64(w.At(ch, 0, i, j))
-						}
-					}
-					out.Set(float32(acc), s, ch, oy, ox)
-				}
-			}
-		}
-	}
-	return out
-}
-
+// TestDepthwiseConv2DAgainstNaive checks a fixed shape table against the
+// shared float64 depthwise oracle; the both-kernel-path sweep lives in
+// TestDepthwiseOracleSweep.
 func TestDepthwiseConv2DAgainstNaive(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	for _, c := range []struct {
@@ -158,12 +93,8 @@ func TestDepthwiseConv2DAgainstNaive(t *testing.T) {
 		x := Randn(rng, 1, c.n, c.ch, c.h, c.w)
 		w := Randn(rng, 1, c.ch, 1, c.k, c.k)
 		got := DepthwiseConv2D(x, w, c.spec)
-		want := naiveDepthwise(x, w, c.spec)
-		for i := range got.Data() {
-			if !almostEqual(float64(got.Data()[i]), float64(want.Data()[i]), 1e-4) {
-				t.Fatalf("DepthwiseConv2D case %+v: out[%d] = %v, want %v", c, i, got.Data()[i], want.Data()[i])
-			}
-		}
+		want, mag, k := oracleDepthwise(x, w, c.spec)
+		assertOracle(t, fmt.Sprintf("DepthwiseConv2D case %+v", c), got.Data(), want, mag, k)
 	}
 }
 

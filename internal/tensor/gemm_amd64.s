@@ -1,0 +1,199 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func microKernel4x16FMA(dst *float32, ldc int64, ap, bp *float32, kl int64)
+//
+// Accumulates a full 4×16 tile: dst[i*ldc+j] += sum_k ap[k*4+i] * bp[k*16+j].
+// ap is the packed A panel (4 row values per k step), bp the packed B panel
+// (16 column values per k step). Eight YMM accumulators (4 rows × 2 vectors)
+// stay live across the whole k loop; each k step costs 2 B loads, 4 A
+// broadcasts and 8 FMAs. Products accumulate in ascending-k order, matching
+// the portable kernel's order except that mul+add round once (FMA).
+TEXT ·microKernel4x16FMA(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ ldc+8(FP), CX
+	MOVQ ap+16(FP), SI
+	MOVQ bp+24(FP), DX
+	MOVQ kl+32(FP), AX
+	SHLQ $2, CX            // row stride in bytes
+
+	VXORPS Y0, Y0, Y0      // c[0][0:8]
+	VXORPS Y1, Y1, Y1      // c[0][8:16]
+	VXORPS Y2, Y2, Y2      // c[1][0:8]
+	VXORPS Y3, Y3, Y3      // c[1][8:16]
+	VXORPS Y4, Y4, Y4      // c[2][0:8]
+	VXORPS Y5, Y5, Y5      // c[2][8:16]
+	VXORPS Y6, Y6, Y6      // c[3][0:8]
+	VXORPS Y7, Y7, Y7      // c[3][8:16]
+
+kloop:
+	VMOVUPS (DX), Y12      // b[0:8]
+	VMOVUPS 32(DX), Y13    // b[8:16]
+	VBROADCASTSS (SI), Y14
+	VFMADD231PS Y12, Y14, Y0
+	VFMADD231PS Y13, Y14, Y1
+	VBROADCASTSS 4(SI), Y14
+	VFMADD231PS Y12, Y14, Y2
+	VFMADD231PS Y13, Y14, Y3
+	VBROADCASTSS 8(SI), Y14
+	VFMADD231PS Y12, Y14, Y4
+	VFMADD231PS Y13, Y14, Y5
+	VBROADCASTSS 12(SI), Y14
+	VFMADD231PS Y12, Y14, Y6
+	VFMADD231PS Y13, Y14, Y7
+	ADDQ $16, SI           // next k step of A (4 floats)
+	ADDQ $64, DX           // next k step of B (16 floats)
+	DECQ AX
+	JNE  kloop
+
+	// dst += accumulators, row by row.
+	VMOVUPS (DI), Y14
+	VADDPS  Y14, Y0, Y0
+	VMOVUPS Y0, (DI)
+	VMOVUPS 32(DI), Y14
+	VADDPS  Y14, Y1, Y1
+	VMOVUPS Y1, 32(DI)
+	ADDQ    CX, DI
+	VMOVUPS (DI), Y14
+	VADDPS  Y14, Y2, Y2
+	VMOVUPS Y2, (DI)
+	VMOVUPS 32(DI), Y14
+	VADDPS  Y14, Y3, Y3
+	VMOVUPS Y3, 32(DI)
+	ADDQ    CX, DI
+	VMOVUPS (DI), Y14
+	VADDPS  Y14, Y4, Y4
+	VMOVUPS Y4, (DI)
+	VMOVUPS 32(DI), Y14
+	VADDPS  Y14, Y5, Y5
+	VMOVUPS Y5, 32(DI)
+	ADDQ    CX, DI
+	VMOVUPS (DI), Y14
+	VADDPS  Y14, Y6, Y6
+	VMOVUPS Y6, (DI)
+	VMOVUPS 32(DI), Y14
+	VADDPS  Y14, Y7, Y7
+	VMOVUPS Y7, 32(DI)
+
+	VZEROUPPER
+	RET
+
+// func microKernel4x8FMA(dst *float32, ldc int64, ap, bp *float32, kl int64)
+//
+// As microKernel4x16FMA but for the first 8 columns of a packed 16-wide B
+// panel (B advances 64 bytes per k step regardless). Used on column tails.
+TEXT ·microKernel4x8FMA(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ ldc+8(FP), CX
+	MOVQ ap+16(FP), SI
+	MOVQ bp+24(FP), DX
+	MOVQ kl+32(FP), AX
+	SHLQ $2, CX
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+
+kloop8:
+	VMOVUPS (DX), Y12
+	VBROADCASTSS (SI), Y14
+	VFMADD231PS Y12, Y14, Y0
+	VBROADCASTSS 4(SI), Y14
+	VFMADD231PS Y12, Y14, Y1
+	VBROADCASTSS 8(SI), Y14
+	VFMADD231PS Y12, Y14, Y2
+	VBROADCASTSS 12(SI), Y14
+	VFMADD231PS Y12, Y14, Y3
+	ADDQ $16, SI
+	ADDQ $64, DX
+	DECQ AX
+	JNE  kloop8
+
+	VMOVUPS (DI), Y14
+	VADDPS  Y14, Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    CX, DI
+	VMOVUPS (DI), Y14
+	VADDPS  Y14, Y1, Y1
+	VMOVUPS Y1, (DI)
+	ADDQ    CX, DI
+	VMOVUPS (DI), Y14
+	VADDPS  Y14, Y2, Y2
+	VMOVUPS Y2, (DI)
+	ADDQ    CX, DI
+	VMOVUPS (DI), Y14
+	VADDPS  Y14, Y3, Y3
+	VMOVUPS Y3, (DI)
+
+	VZEROUPPER
+	RET
+
+// func microKernel4x4FMA(dst *float32, ldc int64, ap, bp *float32, kl int64)
+//
+// XMM variant for 4-column tails of a packed 16-wide B panel.
+TEXT ·microKernel4x4FMA(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ ldc+8(FP), CX
+	MOVQ ap+16(FP), SI
+	MOVQ bp+24(FP), DX
+	MOVQ kl+32(FP), AX
+	SHLQ $2, CX
+
+	VXORPS X0, X0, X0
+	VXORPS X1, X1, X1
+	VXORPS X2, X2, X2
+	VXORPS X3, X3, X3
+
+kloop4:
+	VMOVUPS (DX), X12
+	VBROADCASTSS (SI), X14
+	VFMADD231PS X12, X14, X0
+	VBROADCASTSS 4(SI), X14
+	VFMADD231PS X12, X14, X1
+	VBROADCASTSS 8(SI), X14
+	VFMADD231PS X12, X14, X2
+	VBROADCASTSS 12(SI), X14
+	VFMADD231PS X12, X14, X3
+	ADDQ $16, SI
+	ADDQ $64, DX
+	DECQ AX
+	JNE  kloop4
+
+	VMOVUPS (DI), X14
+	VADDPS  X14, X0, X0
+	VMOVUPS X0, (DI)
+	ADDQ    CX, DI
+	VMOVUPS (DI), X14
+	VADDPS  X14, X1, X1
+	VMOVUPS X1, (DI)
+	ADDQ    CX, DI
+	VMOVUPS (DI), X14
+	VADDPS  X14, X2, X2
+	VMOVUPS X2, (DI)
+	ADDQ    CX, DI
+	VMOVUPS (DI), X14
+	VADDPS  X14, X3, X3
+	VMOVUPS X3, (DI)
+
+	RET

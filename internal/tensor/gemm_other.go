@@ -1,0 +1,23 @@
+//go:build !amd64
+
+package tensor
+
+// useFMA is false off amd64: every tile runs the portable Go micro-kernel.
+const useFMA = false
+
+// forceFMA is a no-op off amd64; only the portable kernel exists.
+func forceFMA(bool) func() { return func() {} }
+
+// microKernel4x16FMA is never called when useFMA is false; this stub only
+// satisfies the linker on non-amd64 builds.
+func microKernel4x16FMA(dst *float32, ldc int64, ap, bp *float32, kl int64) {
+	panic("tensor: FMA micro-kernel unavailable on this architecture")
+}
+
+func microKernel4x8FMA(dst *float32, ldc int64, ap, bp *float32, kl int64) {
+	panic("tensor: FMA micro-kernel unavailable on this architecture")
+}
+
+func microKernel4x4FMA(dst *float32, ldc int64, ap, bp *float32, kl int64) {
+	panic("tensor: FMA micro-kernel unavailable on this architecture")
+}

@@ -6,8 +6,28 @@ import (
 	"effnetscale/internal/parallel"
 )
 
+// The GEMM kernel is cache-blocked in the GotoBLAS style: the k dimension is
+// cut into slabs of at most gemmKC, the B slab is packed once into
+// column-panel layout (gemmNR-wide, k-major), and each gemmMC-row block of A
+// is packed into row panels (gemmMR-high, k-major) that a register-tiled
+// gemmMR×gemmNR micro-kernel consumes. Packing zero-pads ragged tile tails,
+// so the micro-kernel itself is branch-free; partial tiles are masked only at
+// write-back. Full interior tiles dispatch to an AVX2+FMA assembly kernel on
+// amd64 machines that support it (see gemm_amd64.s); edge tiles and other
+// architectures run the pure-Go kernel. For a fixed output element the
+// products accumulate in ascending-k order — the same order as a naive
+// triple loop — so the Go path is bit-identical to the float32 reference
+// oracle whenever k fits one slab (k <= gemmKC); the FMA path keeps the same
+// order but fuses each multiply-add (one rounding instead of two), a
+// documented ULP-level difference bounded by the oracle suite's tolerance.
+const (
+	gemmMR = 4   // micro-kernel rows (register tile height)
+	gemmNR = 16  // micro-kernel cols (two YMM vectors per row)
+	gemmKC = 256 // k-slab: one packed A panel is gemmMR*gemmKC*4 B = 4 KiB
+	gemmMC = 128 // rows of A packed per block (gemmMC*gemmKC*4 B ≈ L2-sized)
+)
+
 // MatMul returns a @ b for a of shape [M,K] and b of shape [K,N].
-// The kernel is a cache-blocked ikj loop parallelized over row blocks.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v and %v", a.shape, b.shape))
@@ -18,7 +38,7 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v @ %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	matmulInto(out.data, a.data, b.data, m, k, n, false)
+	gemm(out.data, a.data, k, false, b.data, n, false, m, n, k, false, nil, true)
 	return out
 }
 
@@ -30,48 +50,7 @@ func MatMulInto(dst, a, b *Tensor, accumulate bool) {
 	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
 	}
-	matmulInto(dst.data, a.data, b.data, m, k, n, accumulate)
-}
-
-// matmulInto is the shared scalar kernel: dst[m,n] (+)= a[m,k] @ b[k,n].
-// It uses an ikj ordering so the inner loop streams through contiguous rows
-// of b and dst, which the Go compiler turns into reasonably tight code.
-func matmulInto(dst, a, b []float32, m, k, n int, accumulate bool) {
-	// Parallelize over output rows; each row is independent.
-	parallel.ForChunked(m, 4, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			drow := dst[i*n : (i+1)*n]
-			if !accumulate {
-				for j := range drow {
-					drow[j] = 0
-				}
-			}
-			arow := a[i*k : (i+1)*k]
-			for p, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b[p*n : (p+1)*n]
-				axpyRow(drow, av, brow)
-			}
-		}
-	})
-}
-
-// axpyRow computes dst += alpha * src over equal-length rows. The 4-way
-// manual unroll measurably improves throughput of the scalar kernel.
-func axpyRow(dst []float32, alpha float32, src []float32) {
-	n := len(dst)
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		dst[i] += alpha * src[i]
-		dst[i+1] += alpha * src[i+1]
-		dst[i+2] += alpha * src[i+2]
-		dst[i+3] += alpha * src[i+3]
-	}
-	for ; i < n; i++ {
-		dst[i] += alpha * src[i]
-	}
+	gemm(dst.data, a.data, k, false, b.data, n, false, m, n, k, accumulate, nil, true)
 }
 
 // MatMulTA returns aᵀ @ b for a of shape [K,M] and b of shape [K,N];
@@ -83,20 +62,7 @@ func MatMulTA(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTA inner dimension mismatch %v vs %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	od, ad, bd := out.data, a.data, b.data
-	// out[i,j] = sum_p a[p,i]*b[p,j]. Parallelize over i.
-	parallel.ForChunked(m, 4, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			drow := od[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := ad[p*m+i]
-				if av == 0 {
-					continue
-				}
-				axpyRow(drow, av, bd[p*n:(p+1)*n])
-			}
-		}
-	})
+	gemm(out.data, a.data, m, true, b.data, n, false, m, n, k, false, nil, true)
 	return out
 }
 
@@ -109,24 +75,318 @@ func MatMulTB(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTB inner dimension mismatch %v vs %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	od, ad, bd := out.data, a.data, b.data
-	parallel.ForChunked(m, 4, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := ad[i*k : (i+1)*k]
-			for j := 0; j < n; j++ {
-				brow := bd[j*k : (j+1)*k]
-				var s float32
-				p := 0
-				for ; p+4 <= k; p += 4 {
-					s += arow[p]*brow[p] + arow[p+1]*brow[p+1] +
-						arow[p+2]*brow[p+2] + arow[p+3]*brow[p+3]
+	gemm(out.data, a.data, k, false, b.data, k, true, m, n, k, false, nil, true)
+	return out
+}
+
+// gemm computes dst[m,n] (+)= op(A) @ op(B), where op transposes when the
+// corresponding flag is set. lda/ldb are the leading (row) strides of the
+// *stored* layouts: element A[i,p] lives at a[i*lda+p] (or a[p*lda+i] when
+// at), and B[p,j] at b[p*ldb+j] (or b[j*ldb+p] when bt). dst is row-major
+// [m,n] with stride n. Temporaries come from sc (nil = default arena). When
+// par is set the row blocks of each k-slab run on parallel workers; callers
+// already inside a parallel region (per-sample convolution loops) pass
+// par=false to avoid nested fan-out.
+func gemm(dst []float32, a []float32, lda int, at bool, b []float32, ldb int, bt bool, m, n, k int, accumulate bool, sc *Scratch, par bool) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	arena := sc.orDefault()
+	if !accumulate {
+		clear(dst[:m*n])
+	}
+	if k <= 0 {
+		return
+	}
+	npad := (n + gemmNR - 1) / gemmNR * gemmNR
+	bpPtr := arena.get(gemmKC * npad)
+	bp := *bpPtr
+	for p0 := 0; p0 < k; p0 += gemmKC {
+		kl := k - p0
+		if kl > gemmKC {
+			kl = gemmKC
+		}
+		packB(bp, b, ldb, bt, n, p0, kl)
+		nBlocks := (m + gemmMC - 1) / gemmMC
+		if par && nBlocks > 1 {
+			// The closure is evaluated only on this branch, so the serial
+			// path below stays allocation-free.
+			parallel.ForChunked(nBlocks, 1, func(blo, bhi int) {
+				gemmRowBlocks(dst, a, lda, at, bp, arena, m, n, p0, kl, blo, bhi)
+			})
+		} else {
+			gemmRowBlocks(dst, a, lda, at, bp, arena, m, n, p0, kl, 0, nBlocks)
+		}
+	}
+	arena.put(bpPtr)
+}
+
+// gemmRowBlocks processes row blocks [blo, bhi) of one k-slab: pack each
+// gemmMC-row block of op(A) and sweep its micro-tiles against the packed B
+// slab bp. A named function (not a closure) so the serial gemm path performs
+// no per-call allocations.
+func gemmRowBlocks(dst, a []float32, lda int, at bool, bp []float32, arena *Scratch, m, n, p0, kl, blo, bhi int) {
+	apPtr := arena.get(gemmMC * gemmKC)
+	ap := *apPtr
+	for bi := blo; bi < bhi; bi++ {
+		i0 := bi * gemmMC
+		rows := m - i0
+		if rows > gemmMC {
+			rows = gemmMC
+		}
+		packA(ap, a, lda, at, i0, rows, p0, kl)
+		for ir := 0; ir < rows; ir += gemmMR {
+			tr := rows - ir
+			if tr > gemmMR {
+				tr = gemmMR
+			}
+			apanel := ap[(ir/gemmMR)*kl*gemmMR:]
+			drow := dst[(i0+ir)*n:]
+			for jr := 0; jr < n; jr += gemmNR {
+				tc := n - jr
+				if tc > gemmNR {
+					tc = gemmNR
 				}
-				for ; p < k; p++ {
-					s += arow[p] * brow[p]
-				}
-				od[i*n+j] = s
+				bpanel := bp[(jr/gemmNR)*kl*gemmNR:]
+				microTile(drow[jr:], n, apanel, bpanel, kl, tr, tc)
 			}
 		}
-	})
-	return out
+	}
+	arena.put(apPtr)
+}
+
+// microTile computes one (possibly ragged) output tile. With FMA support,
+// every tile — full or ragged — runs the same assembly kernels so a given
+// output element accumulates identically regardless of its tile position
+// (zero-padded panel rows/columns compute into a discarded stack buffer).
+// That keeps results independent of m/n raggedness: batch-1 and batch-N
+// inference produce bitwise-equal logits. Without FMA the portable Go
+// kernel has the same property.
+func microTile(dst []float32, ldc int, ap, bp []float32, kl, tr, tc int) {
+	if !useFMA {
+		microKernel4x16(dst, ldc, ap, bp, kl, tr, tc)
+		return
+	}
+	if tr == gemmMR {
+		if tc == gemmNR {
+			microKernel4x16FMA(&dst[0], int64(ldc), &ap[0], &bp[0], int64(kl))
+			return
+		}
+		off := 0
+		if tc >= 8 {
+			microKernel4x8FMA(&dst[0], int64(ldc), &ap[0], &bp[0], int64(kl))
+			off = 8
+		}
+		if tc-off >= 4 {
+			microKernel4x4FMA(&dst[off], int64(ldc), &ap[0], &bp[off], int64(kl))
+			off += 4
+		}
+		if off < tc {
+			var tile [gemmMR * 4]float32
+			microKernel4x4FMA(&tile[0], 4, &ap[0], &bp[off], int64(kl))
+			for r := 0; r < tr; r++ {
+				for c := 0; c < tc-off; c++ {
+					dst[r*ldc+off+c] += tile[r*4+c]
+				}
+			}
+		}
+		return
+	}
+	// Short row tail: compute the full-height tile into a stack buffer (the
+	// packed A panel is zero-padded past tr) and add back only live rows.
+	var tile [gemmMR * gemmNR]float32
+	for jc := 0; jc < tc; jc += 4 {
+		microKernel4x4FMA(&tile[jc/4*gemmMR*4], 4, &ap[0], &bp[jc], int64(kl))
+	}
+	for r := 0; r < tr; r++ {
+		for c := 0; c < tc; c++ {
+			dst[r*ldc+c] += tile[c/4*gemmMR*4+r*4+c%4]
+		}
+	}
+}
+
+// microKernel4x16 is the portable micro-kernel: a 4×16 output tile computed
+// as four strided 4×4 sub-tiles over the 16-wide packed B panel. tr/tc mask
+// the write-back for ragged edge tiles.
+func microKernel4x16(dst []float32, ldc int, ap, bp []float32, kl, tr, tc int) {
+	for s := 0; s*4 < tc; s++ {
+		cw := tc - s*4
+		if cw > 4 {
+			cw = 4
+		}
+		microTile4x4(dst[s*4:], ldc, ap, bp[s*4:], kl, tr, cw)
+	}
+}
+
+// microTile4x4 accumulates a 4×4 output tile over kl packed k-steps: ap
+// holds gemmMR row values per k (zero-padded), bp gemmNR column values per k
+// of which this tile consumes four. The 16 accumulators live in registers
+// across the k loop; tr/tc mask the write-back. dst is the tile's top-left
+// element, rows strided by ldc.
+func microTile4x4(dst []float32, ldc int, ap, bp []float32, kl, tr, tc int) {
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	var c20, c21, c22, c23 float32
+	var c30, c31, c32, c33 float32
+	for kk := 0; kk < kl; kk++ {
+		av := ap[kk*4 : kk*4+4 : kk*4+4]
+		bv := bp[kk*gemmNR : kk*gemmNR+4 : kk*gemmNR+4]
+		a0, a1, a2, a3 := av[0], av[1], av[2], av[3]
+		b0, b1, b2, b3 := bv[0], bv[1], bv[2], bv[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	if tr == 4 && tc == 4 {
+		d0 := dst[0:4:4]
+		d1 := dst[ldc : ldc+4 : ldc+4]
+		d2 := dst[2*ldc : 2*ldc+4 : 2*ldc+4]
+		d3 := dst[3*ldc : 3*ldc+4 : 3*ldc+4]
+		d0[0] += c00
+		d0[1] += c01
+		d0[2] += c02
+		d0[3] += c03
+		d1[0] += c10
+		d1[1] += c11
+		d1[2] += c12
+		d1[3] += c13
+		d2[0] += c20
+		d2[1] += c21
+		d2[2] += c22
+		d2[3] += c23
+		d3[0] += c30
+		d3[1] += c31
+		d3[2] += c32
+		d3[3] += c33
+		return
+	}
+	ct := [16]float32{
+		c00, c01, c02, c03,
+		c10, c11, c12, c13,
+		c20, c21, c22, c23,
+		c30, c31, c32, c33,
+	}
+	for r := 0; r < tr; r++ {
+		for c := 0; c < tc; c++ {
+			dst[r*ldc+c] += ct[r*4+c]
+		}
+	}
+}
+
+// packA packs rows [i0, i0+rows) of op(A), k-slab [p0, p0+kl), into
+// gemmMR-high k-major panels: panel q holds rows i0+q*4…, laid out as 4
+// consecutive row values per k step. Rows past the edge pack as zeros, so
+// the micro-kernel needs no row masking.
+func packA(dst, a []float32, lda int, trans bool, i0, rows, p0, kl int) {
+	for q := 0; q*gemmMR < rows; q++ {
+		panel := dst[q*kl*gemmMR : (q+1)*kl*gemmMR]
+		r0 := i0 + q*gemmMR
+		pr := rows - q*gemmMR
+		if pr >= gemmMR && !trans {
+			// Full panel, A row-major: four streaming reads.
+			s0 := a[(r0+0)*lda+p0 : (r0+0)*lda+p0+kl]
+			s1 := a[(r0+1)*lda+p0 : (r0+1)*lda+p0+kl]
+			s2 := a[(r0+2)*lda+p0 : (r0+2)*lda+p0+kl]
+			s3 := a[(r0+3)*lda+p0 : (r0+3)*lda+p0+kl]
+			for kk := 0; kk < kl; kk++ {
+				d := panel[kk*4 : kk*4+4 : kk*4+4]
+				d[0] = s0[kk]
+				d[1] = s1[kk]
+				d[2] = s2[kk]
+				d[3] = s3[kk]
+			}
+			continue
+		}
+		if trans {
+			// Aᵀ stored [k, m]: each k step's panel rows are contiguous.
+			for kk := 0; kk < kl; kk++ {
+				src := a[(p0+kk)*lda+r0:]
+				d := panel[kk*4 : kk*4+4 : kk*4+4]
+				if pr >= gemmMR {
+					s := src[0:4:4]
+					d[0], d[1], d[2], d[3] = s[0], s[1], s[2], s[3]
+				} else {
+					for r := 0; r < gemmMR; r++ {
+						if r < pr {
+							d[r] = src[r]
+						} else {
+							d[r] = 0
+						}
+					}
+				}
+			}
+			continue
+		}
+		// Ragged row tail, row-major: copy valid rows, zero the rest.
+		for kk := 0; kk < kl; kk++ {
+			d := panel[kk*4 : kk*4+4 : kk*4+4]
+			for r := 0; r < gemmMR; r++ {
+				if r < pr {
+					d[r] = a[(r0+r)*lda+p0+kk]
+				} else {
+					d[r] = 0
+				}
+			}
+		}
+	}
+}
+
+// packB packs all n columns of op(B), k-slab [p0, p0+kl), into gemmNR-wide
+// k-major column panels, zero-padding the ragged column tail.
+func packB(dst, b []float32, ldb int, trans bool, n, p0, kl int) {
+	for q := 0; q*gemmNR < n; q++ {
+		panel := dst[q*kl*gemmNR : (q+1)*kl*gemmNR]
+		j0 := q * gemmNR
+		pc := n - j0
+		if pc > gemmNR {
+			pc = gemmNR
+		}
+		if !trans {
+			// B row-major [k, n]: each k step's panel cols are contiguous.
+			if pc == gemmNR {
+				for kk := 0; kk < kl; kk++ {
+					s := b[(p0+kk)*ldb+j0 : (p0+kk)*ldb+j0+gemmNR : (p0+kk)*ldb+j0+gemmNR]
+					copy(panel[kk*gemmNR:kk*gemmNR+gemmNR], s)
+				}
+			} else {
+				for kk := 0; kk < kl; kk++ {
+					d := panel[kk*gemmNR : kk*gemmNR+gemmNR : kk*gemmNR+gemmNR]
+					for c := 0; c < gemmNR; c++ {
+						if c < pc {
+							d[c] = b[(p0+kk)*ldb+j0+c]
+						} else {
+							d[c] = 0
+						}
+					}
+				}
+			}
+			continue
+		}
+		// Bᵀ stored [n, k]: each column is a contiguous k run.
+		for c := 0; c < gemmNR; c++ {
+			if c < pc {
+				src := b[(j0+c)*ldb+p0 : (j0+c)*ldb+p0+kl]
+				for kk := 0; kk < kl; kk++ {
+					panel[kk*gemmNR+c] = src[kk]
+				}
+			} else {
+				for kk := 0; kk < kl; kk++ {
+					panel[kk*gemmNR+c] = 0
+				}
+			}
+		}
+	}
 }

@@ -1,6 +1,7 @@
 package tensor
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -179,35 +180,17 @@ func TestScaleDistributesOverAddQuick(t *testing.T) {
 	}
 }
 
-func naiveMatMul(a, b *Tensor) *Tensor {
-	m, k := a.Dim(0), a.Dim(1)
-	n := b.Dim(1)
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			var s float64
-			for p := 0; p < k; p++ {
-				s += float64(a.At(i, p)) * float64(b.At(p, j))
-			}
-			out.Set(float32(s), i, j)
-		}
-	}
-	return out
-}
-
+// TestMatMulAgainstNaive checks small fixed shapes against the shared
+// float64 triple-loop oracle (oracle_test.go); the broader shape sweeps
+// and both-kernel-path runs live in TestMatMulOracleSweep.
 func TestMatMulAgainstNaive(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 7, 3}, {16, 16, 16}, {33, 17, 9}} {
 		m, k, n := dims[0], dims[1], dims[2]
 		a := Randn(rng, 1, m, k)
 		b := Randn(rng, 1, k, n)
-		got := MatMul(a, b)
-		want := naiveMatMul(a, b)
-		for i := range got.Data() {
-			if !almostEqual(float64(got.Data()[i]), float64(want.Data()[i]), 1e-5) {
-				t.Fatalf("MatMul(%dx%dx%d)[%d] = %v, want %v", m, k, n, i, got.Data()[i], want.Data()[i])
-			}
-		}
+		want, mag := oracleGEMM(a.Data(), b.Data(), k, n, false, false, m, n, k)
+		assertOracle(t, fmt.Sprintf("MatMul(%dx%dx%d)", m, k, n), MatMul(a, b).Data(), want, mag, k)
 	}
 }
 
@@ -216,7 +199,7 @@ func TestMatMulTransposedVariants(t *testing.T) {
 	m, k, n := 5, 4, 6
 	a := Randn(rng, 1, m, k)
 	b := Randn(rng, 1, k, n)
-	want := naiveMatMul(a, b)
+	want, mag := oracleGEMM(a.Data(), b.Data(), k, n, false, false, m, n, k)
 
 	// MatMulTA(aT, b) must equal a@b.
 	aT := New(k, m)
@@ -225,7 +208,7 @@ func TestMatMulTransposedVariants(t *testing.T) {
 			aT.Set(a.At(i, p), p, i)
 		}
 	}
-	gotTA := MatMulTA(aT, b)
+	assertOracle(t, "MatMulTA", MatMulTA(aT, b).Data(), want, mag, k)
 	// MatMulTB(a, bT) must equal a@b.
 	bT := New(n, k)
 	for p := 0; p < k; p++ {
@@ -233,15 +216,7 @@ func TestMatMulTransposedVariants(t *testing.T) {
 			bT.Set(b.At(p, j), j, p)
 		}
 	}
-	gotTB := MatMulTB(a, bT)
-	for i := range want.Data() {
-		if !almostEqual(float64(gotTA.Data()[i]), float64(want.Data()[i]), 1e-5) {
-			t.Fatalf("MatMulTA[%d] = %v, want %v", i, gotTA.Data()[i], want.Data()[i])
-		}
-		if !almostEqual(float64(gotTB.Data()[i]), float64(want.Data()[i]), 1e-5) {
-			t.Fatalf("MatMulTB[%d] = %v, want %v", i, gotTB.Data()[i], want.Data()[i])
-		}
-	}
+	assertOracle(t, "MatMulTB", MatMulTB(a, bT).Data(), want, mag, k)
 }
 
 func TestMatMulIntoAccumulate(t *testing.T) {
